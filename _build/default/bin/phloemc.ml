@@ -1,0 +1,91 @@
+(* phloemc: the Phloem compiler CLI.
+
+   Reads a minic source file containing a [#pragma phloem] kernel, runs the
+   decoupling-point cost model and the pass pipeline, and prints the
+   resulting pipeline-parallel program. Because array extents are part of
+   the IR, array parameters are bound to placeholder lengths (--length). *)
+
+open Cmdliner
+
+let compile_cmd src_file stages length list_cuts flags_off =
+  let src = In_channel.with_open_text src_file In_channel.input_all in
+  let lw = Phloem_minic.Lower.of_source src in
+  let arrays =
+    List.map
+      (fun (name, ty) ->
+        ( name,
+          Array.make length
+            (match ty with
+            | Phloem_ir.Types.Ety_int -> Phloem_ir.Types.Vint 0
+            | Phloem_ir.Types.Ety_float -> Phloem_ir.Types.Vfloat 0.0) ))
+      lw.Phloem_minic.Lower.lw_arrays
+  in
+  let scalars =
+    List.map
+      (fun (name, ty) ->
+        ( name,
+          match ty with
+          | Phloem_ir.Types.Ety_int -> Phloem_ir.Types.Vint 1
+          | Phloem_ir.Types.Ety_float -> Phloem_ir.Types.Vfloat 1.0 ))
+      lw.Phloem_minic.Lower.lw_scalars
+  in
+  let serial, _ = Phloem_minic.Lower.to_serial_pipeline lw ~arrays ~scalars in
+  if list_cuts then begin
+    print_endline "Decoupling-point candidates (best first):";
+    List.iteri
+      (fun i (c : Phloem.Costmodel.cut) ->
+        Printf.printf "  %2d. loads %s%s, score %.1f\n" i
+          (String.concat "," (List.map string_of_int c.Phloem.Costmodel.cut_loads))
+          (if c.Phloem.Costmodel.cut_prefetch then " (prefetch-only)" else "")
+          c.Phloem.Costmodel.cut_score)
+      (Phloem.Compile.candidates serial)
+  end;
+  let flags =
+    List.fold_left
+      (fun f off ->
+        let open Phloem.Decouple in
+        match off with
+        | "recompute" -> { f with f_recompute = false }
+        | "ra" -> { f with f_ra = false }
+        | "cv" -> { f with f_cv = false }
+        | "handlers" -> { f with f_handlers = false }
+        | "dce" -> { f with f_dce = false }
+        | other -> failwith ("unknown pass: " ^ other))
+      Phloem.Decouple.all_passes flags_off
+  in
+  match Phloem.Compile.static_flow ~flags ~stages serial with
+  | p ->
+    print_endline (Phloem_ir.Printer.pipeline_to_string p);
+    Printf.printf "\n;; %d stages, %d queues, %d reference accelerators\n"
+      (List.length p.Phloem_ir.Types.p_stages)
+      (List.length p.Phloem_ir.Types.p_queues)
+      (List.length p.Phloem_ir.Types.p_ras);
+    0
+  | exception Phloem.Compile.Unsupported msg ->
+    Printf.eprintf "phloemc: %s\n" msg;
+    1
+
+let src_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE.c" ~doc:"minic source file")
+
+let stages_arg =
+  Arg.(value & opt int 4 & info [ "stages"; "s" ] ~doc:"target pipeline stage count")
+
+let length_arg =
+  Arg.(value & opt int 64 & info [ "length" ] ~doc:"placeholder array length for binding")
+
+let list_cuts_arg =
+  Arg.(value & flag & info [ "list-cuts" ] ~doc:"print the ranked decoupling points")
+
+let flags_off_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "disable" ]
+        ~doc:"disable a pass: recompute, ra, cv, handlers, dce (repeatable)")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "phloemc" ~doc:"compile a serial minic kernel into a Pipette pipeline")
+    Term.(const compile_cmd $ src_arg $ stages_arg $ length_arg $ list_cuts_arg $ flags_off_arg)
+
+let () = exit (Cmd.eval' cmd)

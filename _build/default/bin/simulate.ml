@@ -1,0 +1,100 @@
+(* simulate: run one benchmark / variant / input on the Pipette model and
+   report cycles, IPC, breakdowns and energy. *)
+
+open Cmdliner
+open Phloem_workloads
+
+let graph_names =
+  [ "internet"; "USA-road-d-NY"; "coAuthorsDBLP"; "hugetrace-00000"; "Freescale1";
+    "as-Skitter"; "USA-road-d-USA" ]
+
+let bind_bench bench input scale =
+  match bench with
+  | "bfs" | "cc" | "prd" | "radii" ->
+    if not (List.mem input graph_names) then
+      failwith (Printf.sprintf "unknown graph %s" input);
+    let g = Lazy.force (Phloem_graph.Inputs.find ~scale input).Phloem_graph.Inputs.graph in
+    (match bench with
+    | "bfs" -> Bfs.bind g
+    | "cc" -> Cc.bind g
+    | "prd" -> Prd.bind g
+    | _ -> Radii.bind g)
+  | "spmm" ->
+    let m = Lazy.force (Phloem_sparse.Inputs.find ~scale:(0.12 *. scale) input).Phloem_sparse.Inputs.matrix in
+    Spmm.bind m (Phloem_sparse.Csr_matrix.transpose m)
+  | "spmv" | "residual" | "mtmul" | "sddmm" ->
+    let m = Lazy.force (Phloem_sparse.Inputs.find ~scale:(0.35 *. scale) input).Phloem_sparse.Inputs.matrix in
+    let kind =
+      match bench with
+      | "spmv" -> Taco_kernels.Spmv
+      | "residual" -> Taco_kernels.Residual
+      | "mtmul" -> Taco_kernels.Mtmul
+      | _ -> Taco_kernels.Sddmm
+    in
+    Taco_kernels.bind kind m
+  | other -> failwith (Printf.sprintf "unknown benchmark %s" other)
+
+let simulate bench variant input scale =
+  let b = bind_bench bench input scale in
+  let serial_p, serial_in = b.Workload.b_serial in
+  let sr = Pipette.Sim.run ~inputs:serial_in serial_p in
+  let serial_cycles = Pipette.Sim.cycles sr in
+  let p, inputs =
+    match variant with
+    | "serial" -> (serial_p, serial_in)
+    | "phloem" -> (Phloem.Compile.static_flow ~stages:4 serial_p, serial_in)
+    | "data-parallel" -> b.Workload.b_data_parallel ~threads:4
+    | "manual" -> (
+      match b.Workload.b_manual with
+      | Some mp -> mp
+      | None -> failwith "no manual pipeline for this benchmark")
+    | other -> failwith (Printf.sprintf "unknown variant %s" other)
+  in
+  let r = Pipette.Sim.run ~inputs p in
+  let t = r.Pipette.Sim.sr_timing in
+  let ok = Workload.check b r.Pipette.Sim.sr_functional in
+  Printf.printf "%s / %s on %s\n" b.Workload.b_name variant input;
+  Printf.printf "  result valid vs reference : %b\n" ok;
+  Printf.printf "  cycles                    : %d\n" t.Pipette.Engine.cycles;
+  Printf.printf "  micro-ops                 : %d (IPC %.2f)\n" t.Pipette.Engine.instrs
+    (float_of_int t.Pipette.Engine.instrs /. float_of_int t.Pipette.Engine.cycles);
+  Printf.printf "  speedup over serial       : %.2fx\n"
+    (float_of_int serial_cycles /. float_of_int t.Pipette.Engine.cycles);
+  Printf.printf "  thread-cycles: issue %d, backend %d, queue %d, other %d\n"
+    t.Pipette.Engine.issue_cycles t.Pipette.Engine.backend_cycles
+    t.Pipette.Engine.queue_cycles t.Pipette.Engine.other_cycles;
+  Printf.printf "  branches: %d (%.1f%% mispredicted)\n" t.Pipette.Engine.branch_lookups
+    (100.0
+    *. float_of_int t.Pipette.Engine.branch_mispredicts
+    /. float_of_int (max 1 t.Pipette.Engine.branch_lookups));
+  Printf.printf "  DRAM accesses: %d; queue ops: %d; RA fetches: %d\n"
+    t.Pipette.Engine.cache.Pipette.Cache.c_dram t.Pipette.Engine.queue_ops
+    t.Pipette.Engine.ra_fetches;
+  let e = r.Pipette.Sim.sr_energy in
+  Printf.printf "  energy (nJ): core %.0f, memory %.0f, queues+RA %.0f, static %.0f\n"
+    e.Pipette.Energy.e_core_dynamic e.Pipette.Energy.e_memory
+    e.Pipette.Energy.e_queues_ras e.Pipette.Energy.e_static;
+  if ok then 0 else 2
+
+let bench_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BENCH" ~doc:"bfs | cc | prd | radii | spmm | spmv | residual | mtmul | sddmm")
+
+let variant_arg =
+  Arg.(
+    value & pos 1 string "phloem"
+    & info [] ~docv:"VARIANT" ~doc:"serial | phloem | data-parallel | manual")
+
+let input_arg =
+  Arg.(value & pos 2 string "USA-road-d-USA" & info [] ~docv:"INPUT" ~doc:"input name (Table IV/V)")
+
+let scale_arg = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"input scale factor")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"run one benchmark variant on the Pipette simulator")
+    Term.(const simulate $ bench_arg $ variant_arg $ input_arg $ scale_arg)
+
+let () = exit (Cmd.eval' cmd)

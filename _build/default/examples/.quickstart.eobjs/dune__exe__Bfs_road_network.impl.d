@@ -1,0 +1,1 @@
+examples/bfs_road_network.ml: Bfs List Phloem Phloem_graph Phloem_ir Phloem_workloads Pipette Printf String Workload

@@ -1,0 +1,1 @@
+examples/bfs_road_network.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Phloem Phloem_ir Phloem_minic Phloem_util Pipette Printf

@@ -1,0 +1,1 @@
+examples/replicated_multicore.ml: Bfs List Phloem_graph Phloem_ir Phloem_workloads Pipette Printf Replicated Workload

@@ -1,0 +1,1 @@
+examples/taco_spmv.ml: Phloem Phloem_sparse Phloem_taco Phloem_workloads Pipette Printf Taco_kernels Workload

@@ -1,0 +1,1 @@
+examples/taco_spmv.mli:

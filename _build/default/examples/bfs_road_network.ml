@@ -1,0 +1,48 @@
+(* BFS on a road-network-like graph, end to end: serial C-like source ->
+   Phloem pipeline (with chained reference accelerators) -> Pipette timing,
+   validated against a reference BFS — the paper's running example (Sec. II).
+
+   Run with: dune exec examples/bfs_road_network.exe *)
+
+open Phloem_workloads
+
+let () =
+  let g = Phloem_graph.Gen.grid ~width:104 ~height:88 ~seed:107 in
+  Printf.printf "road network: %d vertices, %d edges\n" g.Phloem_graph.Csr.n
+    g.Phloem_graph.Csr.m;
+  let b = Bfs.bind g in
+  let serial, inputs = b.Workload.b_serial in
+
+  (* show the ranked decoupling points the cost model found *)
+  print_endline "\ncost-model ranking of decoupling points:";
+  List.iteri
+    (fun i (c : Phloem.Costmodel.cut) ->
+      Printf.printf "  %d. loads %s%s (score %.0f)\n" i
+        (String.concat "," (List.map string_of_int c.cut_loads))
+        (if c.cut_prefetch then ", prefetch-only" else "")
+        c.cut_score)
+    (Phloem.Compile.candidates serial);
+
+  let p = Phloem.Compile.static_flow ~stages:4 serial in
+  Printf.printf "\npipeline: %d threads + %d reference accelerators (%s)\n"
+    (List.length p.Phloem_ir.Types.p_stages)
+    (List.length p.Phloem_ir.Types.p_ras)
+    (String.concat ", "
+       (List.map
+          (fun r ->
+            Printf.sprintf "%s %s" r.Phloem_ir.Types.ra_array
+              (match r.Phloem_ir.Types.ra_mode with
+              | Phloem_ir.Types.Ra_indirect -> "indirect"
+              | Phloem_ir.Types.Ra_scan -> "scan"))
+          p.Phloem_ir.Types.p_ras));
+
+  let rs = Pipette.Sim.run ~inputs serial in
+  let rp = Pipette.Sim.run ~inputs p in
+  assert (Workload.check b rp.Pipette.Sim.sr_functional);
+  Printf.printf "\nserial %d cycles, phloem %d cycles: %.2fx (result verified)\n"
+    (Pipette.Sim.cycles rs) (Pipette.Sim.cycles rp)
+    (float_of_int (Pipette.Sim.cycles rs) /. float_of_int (Pipette.Sim.cycles rp));
+  let t = rp.Pipette.Sim.sr_timing in
+  Printf.printf "phloem breakdown (thread-cycles): issue %d, backend %d, queue %d, other %d\n"
+    t.Pipette.Engine.issue_cycles t.Pipette.Engine.backend_cycles
+    t.Pipette.Engine.queue_cycles t.Pipette.Engine.other_cycles

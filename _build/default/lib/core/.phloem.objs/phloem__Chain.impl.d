@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array List Option Phloem_ir

@@ -1,0 +1,1 @@
+lib/core/compile.ml: Chain Costmodel Decouple Ktree List Normalize Phloem_ir Phloem_minic

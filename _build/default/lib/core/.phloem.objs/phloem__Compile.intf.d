@@ -1,0 +1,1 @@
+lib/core/compile.mli: Costmodel Decouple Phloem_ir

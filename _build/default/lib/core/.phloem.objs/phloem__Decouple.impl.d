@@ -1,0 +1,1 @@
+lib/core/decouple.ml: Array Costmodel Hashtbl Ktree List Normalize Option Phloem_ir Printf String

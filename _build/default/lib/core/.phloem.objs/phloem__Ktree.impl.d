@@ -1,0 +1,1 @@
+lib/core/ktree.ml: List Phloem_ir

@@ -1,0 +1,1 @@
+lib/core/normalize.ml: List Phloem_ir Printf

@@ -1,0 +1,1 @@
+lib/core/replicate.ml: Array List Phloem_ir Printf

@@ -1,0 +1,1 @@
+lib/core/search.ml: Compile Costmodel Decouple Fun List Option Phloem_ir Phloem_util Pipette

@@ -1,0 +1,1 @@
+lib/core/search.mli: Costmodel Decouple Phloem_ir Pipette

@@ -1,0 +1,73 @@
+(* Phloem's top-level compilation entry points.
+
+   [static_flow] implements the static compilation mode (paper Fig. 8,
+   upper right): pick the (n-1) highest-ranked decoupling points with the
+   cost model and emit one pipeline. [with_cuts] compiles an explicit cut
+   selection (used by the profile-guided search in Search). *)
+
+open Phloem_ir.Types
+
+exception Unsupported = Decouple.Reject
+
+let candidates (serial : pipeline) : Costmodel.cut list =
+  match serial.p_stages with
+  | [ st ] ->
+    let tree, _ = Ktree.of_body (Normalize.body st.s_body) in
+    Costmodel.candidates tree
+  | _ -> invalid_arg "Compile.candidates: expected serial pipeline"
+
+let with_cuts ?(flags = Decouple.all_passes) (serial : pipeline)
+    (cuts : Costmodel.cut list) : pipeline =
+  let p = Decouple.split ~flags serial cuts in
+  let p =
+    if flags.Decouple.f_ra && flags.Decouple.f_dce then Chain.apply p
+    else Chain.cleanup p
+  in
+  if List.length p.p_queues > 16 then
+    Decouple.reject "pipeline uses %d queues (max 16)" (List.length p.p_queues);
+  if List.length p.p_ras > 4 then
+    Decouple.reject "pipeline uses %d RAs (max 4)" (List.length p.p_ras);
+  Phloem_ir.Validate.check p;
+  p
+
+(* Static mode: an n-stage pipeline from the top-ranked cost-model cuts.
+   Cuts that make decoupling illegal (e.g. they would split a merge loop's
+   induction updates across stages) are skipped greedily, in rank order. *)
+let static_flow ?(flags = Decouple.all_passes) ?(stages = 4) (serial : pipeline) :
+    pipeline =
+  match serial.p_stages with
+  | [ st ] ->
+    let tree, _ = Ktree.of_body (Normalize.body st.s_body) in
+    let ranked = Costmodel.candidates tree in
+    let in_order cuts =
+      List.sort
+        (fun (a : Costmodel.cut) b -> compare (List.hd a.cut_loads) (List.hd b.cut_loads))
+        cuts
+    in
+    let try_compile cuts =
+      match with_cuts ~flags serial (in_order cuts) with
+      | p -> Some p
+      | exception Decouple.Reject _ -> None
+      | exception Phloem_ir.Validate.Invalid _ -> None
+    in
+    let rec greedy chosen best = function
+      | [] -> best
+      | c :: rest ->
+        if List.length chosen >= stages - 1 then best
+        else (
+          match try_compile (c :: chosen) with
+          | Some p -> greedy (c :: chosen) (Some p) rest
+          | None -> greedy chosen best rest)
+    in
+    (match greedy [] None ranked with
+    | Some p -> p
+    | None -> Decouple.reject "no legal decoupling found")
+  | _ -> invalid_arg "Compile.static_flow: expected serial pipeline"
+
+(* Compile minic source text end to end (used by phloemc and tests). *)
+let from_minic_source ?(flags = Decouple.all_passes) ?(stages = 4) src
+    ~(arrays : (string * value array) list) ~(scalars : (string * value) list) :
+    pipeline * (string * value array) list =
+  let lw = Phloem_minic.Lower.of_source src in
+  let serial, inputs = Phloem_minic.Lower.to_serial_pipeline lw ~arrays ~scalars in
+  (static_flow ~flags ~stages serial, inputs)

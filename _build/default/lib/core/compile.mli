@@ -1,0 +1,41 @@
+(** Phloem's top-level compilation entry points (paper Fig. 8).
+
+    A "serial pipeline" below is a single-stage {!Phloem_ir.Types.pipeline},
+    typically produced by {!Phloem_minic.Lower.to_serial_pipeline}. *)
+
+exception Unsupported of string
+(** Raised when no legal decoupling exists (alias of {!Decouple.Reject}). *)
+
+val candidates : Phloem_ir.Types.pipeline -> Costmodel.cut list
+(** The cost model's ranked decoupling points for a serial kernel,
+    best first. *)
+
+val with_cuts :
+  ?flags:Decouple.flags ->
+  Phloem_ir.Types.pipeline ->
+  Costmodel.cut list ->
+  Phloem_ir.Types.pipeline
+(** Compile with an explicit cut selection (the profile-guided search uses
+    this); applies the pass gates in [flags], scan-chaining/cleanup, and
+    validates the result against the architecture's queue/RA limits.
+    @raise Unsupported if the cuts are illegal. *)
+
+val static_flow :
+  ?flags:Decouple.flags ->
+  ?stages:int ->
+  Phloem_ir.Types.pipeline ->
+  Phloem_ir.Types.pipeline
+(** The static compilation mode: greedily select up to [stages]-1 of the
+    highest-ranked legal decoupling points and emit one pipeline.
+    @raise Unsupported if no cut is legal. *)
+
+val from_minic_source :
+  ?flags:Decouple.flags ->
+  ?stages:int ->
+  string ->
+  arrays:(string * Phloem_ir.Types.value array) list ->
+  scalars:(string * Phloem_ir.Types.value) list ->
+  Phloem_ir.Types.pipeline * (string * Phloem_ir.Types.value array) list
+(** Compile minic source text end to end, binding array parameters to the
+    given contents; returns the pipeline and the inputs to pass to
+    {!Pipette.Sim.run}. *)

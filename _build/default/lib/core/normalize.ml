@@ -1,0 +1,120 @@
+(* Normalization into fine-grain form: every memory access, call, and
+   compound operation gets its own statement over atomic operands
+   (variables/constants). This is the representation "that allows any two
+   operations in a program to be decoupled" (paper Sec. V); the cost model
+   and the decoupler both walk it, identifying loads by ordinal. *)
+
+open Phloem_ir.Types
+
+let tmp_counter = ref 0
+
+let fresh_tmp () =
+  incr tmp_counter;
+  Printf.sprintf "__n%d" !tmp_counter
+
+let is_atom = function Const _ | Var _ -> true | _ -> false
+
+let rec has_load = function
+  | Const _ | Var _ | Deq _ -> false
+  | Load _ -> true
+  | Binop (_, a, b) -> has_load a || has_load b
+  | Unop (_, a) | Is_control a | Ctrl_payload a -> has_load a
+  | Call (_, args) -> List.exists has_load args
+
+(* Flatten an expression to an atom, emitting setup statements. *)
+let rec atomize acc e =
+  match e with
+  | Const _ | Var _ -> (acc, e)
+  | _ ->
+    let acc, e' = flatten_node acc e in
+    let t = fresh_tmp () in
+    (acc @ [ Assign (t, e') ], Var t)
+
+(* Flatten one level: children become atoms, the node itself survives. *)
+and flatten_node acc e =
+  match e with
+  | Const _ | Var _ -> (acc, e)
+  | Binop (op, a, b) ->
+    let acc, a = atomize acc a in
+    let acc, b = atomize acc b in
+    (acc, Binop (op, a, b))
+  | Unop (op, a) ->
+    let acc, a = atomize acc a in
+    (acc, Unop (op, a))
+  | Load (arr, i) ->
+    let acc, i = atomize acc i in
+    (acc, Load (arr, i))
+  | Deq q -> (acc, Deq q)
+  | Is_control a ->
+    let acc, a = atomize acc a in
+    (acc, Is_control a)
+  | Ctrl_payload a ->
+    let acc, a = atomize acc a in
+    (acc, Ctrl_payload a)
+  | Call (f, args) ->
+    let acc, args =
+      List.fold_left
+        (fun (acc, rev) a ->
+          let acc, a = atomize acc a in
+          (acc, a :: rev))
+        (acc, []) args
+    in
+    (acc, Call (f, List.rev args))
+
+(* A while condition stays inline only if it is a cheap load-free test;
+   otherwise it is rewritten as while(1) { t = cond; if (!t) break; ... }. *)
+let simple_cond e =
+  match e with
+  | Const _ | Var _ -> true
+  | Binop (_, a, b) -> is_atom a && is_atom b && not (has_load e)
+  | _ -> false
+
+let rec norm_stmt (s : stmt) : stmt list =
+  match s with
+  | Assign (x, e) ->
+    let acc, e' = flatten_node [] e in
+    acc @ [ Assign (x, e') ]
+  | Store (arr, i, v) ->
+    let acc, i = atomize [] i in
+    let acc, v = atomize acc v in
+    acc @ [ Store (arr, i, v) ]
+  | Atomic_min (arr, i, v) ->
+    let acc, i = atomize [] i in
+    let acc, v = atomize acc v in
+    acc @ [ Atomic_min (arr, i, v) ]
+  | Atomic_add (arr, i, v) ->
+    let acc, i = atomize [] i in
+    let acc, v = atomize acc v in
+    acc @ [ Atomic_add (arr, i, v) ]
+  | Prefetch (arr, i) ->
+    let acc, i = atomize [] i in
+    acc @ [ Prefetch (arr, i) ]
+  | Enq (q, e) ->
+    let acc, e = atomize [] e in
+    acc @ [ Enq (q, e) ]
+  | Enq_ctrl _ -> [ s ]
+  | Enq_indexed (qs, sel, e) ->
+    let acc, sel = atomize [] sel in
+    let acc, e = atomize acc e in
+    acc @ [ Enq_indexed (qs, sel, e) ]
+  | If (site, c, t, f) ->
+    let acc, c = atomize [] c in
+    acc @ [ If (site, c, norm_block t, norm_block f) ]
+  | While (site, c, b) ->
+    if simple_cond c then [ While (site, c, norm_block b) ]
+    else begin
+      let acc, c' = atomize [] c in
+      let guard =
+        acc @ [ If (fresh_site (), Unop (Not, c'), [ Break ], []) ]
+      in
+      [ While (site, Const (Vint 1), guard @ norm_block b) ]
+    end
+  | For (site, v, lo, hi, b) ->
+    let acc, lo = atomize [] lo in
+    let acc, hi = atomize acc hi in
+    acc @ [ For (site, v, lo, hi, norm_block b) ]
+  | Break | Exit_loops _ | Barrier _ | Seq_marker _ -> [ s ]
+
+and norm_block stmts = List.concat_map norm_stmt stmts
+
+let body stmts = norm_block stmts

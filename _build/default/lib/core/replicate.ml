@@ -1,0 +1,182 @@
+(* Pipeline replication and data-centric distribution (paper Sec. IV-C,
+   [#pragma replicate] / [#pragma distribute]).
+
+   Replication clones a pipeline R times with disjoint queue/RA namespaces.
+   Arrays are shared by default; [private_arrays] get per-replica copies
+   (the replicate_arguments() role). [distribute] rewrites the enqueues into
+   one crossing queue so each value is routed to the replica chosen by a
+   selector (e.g. low bits of the neighbor id), which splits the pipeline
+   into source-centric and destination-centric halves. Control values on a
+   distributed queue fan out to every replica, and consumers wait for one
+   control value per producer replica before ending an iteration. *)
+
+open Phloem_ir.Types
+
+type spec = {
+  r_replicas : int;
+  r_private_arrays : string list;
+  r_private_params : (var * (int -> value)) list;
+      (* per-replica parameter values (e.g. the replica id, per-replica
+         work ranges); shadow the base pipeline's params *)
+  r_distribute : (queue_id * (expr -> expr)) option;
+      (* crossing queue and selector from the enqueued value to a replica *)
+}
+
+let private_name name k = Printf.sprintf "%s__r%d" name k
+
+let rec rewrite_expr ~qmap ~amap (e : expr) : expr =
+  let rx = rewrite_expr ~qmap ~amap in
+  match e with
+  | Const _ | Var _ -> e
+  | Binop (op, a, b) -> Binop (op, rx a, rx b)
+  | Unop (op, a) -> Unop (op, rx a)
+  | Load (arr, i) -> Load (amap arr, rx i)
+  | Deq q -> Deq (qmap q)
+  | Is_control a -> Is_control (rx a)
+  | Ctrl_payload a -> Ctrl_payload (rx a)
+  | Call (f, args) -> Call (f, List.map rx args)
+
+let rec rewrite_stmt ~qmap ~amap ~enq_hook (s : stmt) : stmt list =
+  let rx = rewrite_expr ~qmap ~amap in
+  let rb = rewrite_block ~qmap ~amap ~enq_hook in
+  match s with
+  | Assign (x, e) -> [ Assign (x, rx e) ]
+  | Store (a, i, v) -> [ Store (amap a, rx i, rx v) ]
+  | Atomic_min (a, i, v) -> [ Atomic_min (amap a, rx i, rx v) ]
+  | Atomic_add (a, i, v) -> [ Atomic_add (amap a, rx i, rx v) ]
+  | Prefetch (a, i) -> [ Prefetch (amap a, rx i) ]
+  | Enq (q, e) -> enq_hook q (rx e)
+  | Enq_ctrl (q, cv) -> (
+    match enq_hook q (Const (Vctrl cv)) with
+    | [ Enq (q', _) ] -> [ Enq_ctrl (q', cv) ]
+    | stmts ->
+      (* distributed control: fan out to every replica's queue *)
+      List.concat_map
+        (function
+          | Enq_indexed (qs, _, _) ->
+            Array.to_list qs |> List.map (fun q' -> Enq_ctrl (q', cv))
+          | other -> [ other ])
+        stmts)
+  | Enq_indexed (qs, sel, e) -> [ Enq_indexed (Array.map qmap qs, rx sel, rx e) ]
+  | If (site, c, t, f) -> [ If (site, rx c, rb t, rb f) ]
+  | While (site, c, b) -> [ While (site, rx c, rb b) ]
+  | For (site, v, lo, hi, b) -> [ For (site, v, rx lo, rx hi, rb b) ]
+  | Break | Exit_loops _ | Barrier _ | Seq_marker _ -> [ s ]
+
+and rewrite_block ~qmap ~amap ~enq_hook stmts =
+  List.concat_map (rewrite_stmt ~qmap ~amap ~enq_hook) stmts
+
+let apply (p : pipeline) (spec : spec) : pipeline =
+  let r = spec.r_replicas in
+  if r < 1 then invalid_arg "Replicate.apply: replicas < 1";
+  let nq = 1 + List.fold_left (fun acc q -> max acc q.q_id) 0 p.p_queues in
+  let nra = List.length p.p_ras in
+  let replica k =
+    let qmap q = q + (k * nq) in
+    let amap a = if List.mem a spec.r_private_arrays then private_name a k else a in
+    let enq_hook q e =
+      match spec.r_distribute with
+      | Some (dq, selector) when q = dq ->
+        let qs = Array.init r (fun k' -> dq + (k' * nq)) in
+        [ Enq_indexed (qs, selector e, e) ]
+      | _ -> [ Enq (qmap q, e) ]
+    in
+    let stages =
+      List.map
+        (fun st ->
+          let handlers =
+            List.map
+              (fun h ->
+                let body = rewrite_block ~qmap ~amap ~enq_hook h.h_body in
+                (* a distributed queue delivers one control value per
+                   producer replica; only the last one ends the iteration *)
+                let body =
+                  match spec.r_distribute with
+                  | Some (dq, _) when h.h_queue = dq && r > 1 ->
+                    let cnt = Printf.sprintf "__cvn%d" h.h_queue in
+                    [
+                      Assign (cnt, Binop (Add, Var cnt, Const (Vint 1)));
+                      If
+                        ( fresh_site (),
+                          Binop (Eq, Var cnt, Const (Vint r)),
+                          Assign (cnt, Const (Vint 0)) :: body,
+                          [] );
+                    ]
+                  | _ -> body
+                in
+                { h with h_queue = qmap h.h_queue; h_body = body })
+              st.s_handlers
+          in
+          let prelude =
+            match spec.r_distribute with
+            | Some (dq, _) when r > 1 && List.exists (fun h -> h.h_queue = qmap dq) handlers
+              ->
+              [ Assign (Printf.sprintf "__cvn%d" dq, Const (Vint 0)) ]
+            | _ -> []
+          in
+          {
+            s_name = Printf.sprintf "%s_r%d" st.s_name k;
+            s_body = prelude @ rewrite_block ~qmap ~amap ~enq_hook st.s_body;
+            s_handlers = handlers;
+          })
+        p.p_stages
+    in
+    let queues =
+      List.map (fun q -> { q with q_id = qmap q.q_id }) p.p_queues
+    in
+    let ras =
+      List.map
+        (fun ra ->
+          {
+            ra with
+            ra_id = ra.ra_id + (k * nra);
+            ra_in = qmap ra.ra_in;
+            ra_out = qmap ra.ra_out;
+            ra_array = amap ra.ra_array;
+          })
+        p.p_ras
+    in
+    let arrays =
+      List.filter_map
+        (fun a ->
+          if List.mem a.a_name spec.r_private_arrays then
+            Some { a with a_name = private_name a.a_name k }
+          else if k = 0 then Some a
+          else None)
+        p.p_arrays
+    in
+    (stages, queues, ras, arrays)
+  in
+  let parts = List.init r replica in
+  let params =
+    (* shared params minus shadowed ones; per-replica params become
+       replica-suffixed names referenced through amap? No: scalars are
+       per-stage locals, so give each replica's stages a prelude assign. *)
+    p.p_params
+  in
+  let per_replica_prelude k =
+    List.map (fun (x, f) -> Assign (x, Const (f k))) spec.r_private_params
+  in
+  let stages =
+    List.concat
+      (List.mapi
+         (fun k (stages, _, _, _) ->
+           List.map
+             (fun st -> { st with s_body = per_replica_prelude k @ st.s_body })
+             stages)
+         parts)
+  in
+  {
+    p with
+    p_name = Printf.sprintf "%s_x%d" p.p_name r;
+    p_stages = stages;
+    p_queues = List.concat_map (fun (_, qs, _, _) -> qs) parts;
+    p_ras = List.concat_map (fun (_, _, ras, _) -> ras) parts;
+    p_arrays = List.concat_map (fun (_, _, _, arrs) -> arrs) parts;
+    p_params = params;
+  }
+
+(* Core placement: replica k's stages (and its RAs) on core k mod n_cores. *)
+let thread_core_map (p_base : pipeline) ~replicas ~n_cores =
+  let per = List.length p_base.p_stages in
+  Array.init (replicas * per) (fun i -> i / per mod n_cores)

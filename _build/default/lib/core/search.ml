@@ -1,0 +1,136 @@
+(* Profile-guided pipeline search (paper Sec. V, Fig. 8): enumerate candidate
+   pipelines from combinations of the top-ranked decoupling points, profile
+   each on small training inputs, and keep the best. Candidates that the
+   decoupler rejects, that fail validation, or that compute a different
+   result from the serial version are discarded. *)
+
+open Phloem_ir.Types
+
+type candidate = {
+  ca_cuts : Costmodel.cut list; (* program order *)
+  ca_stages : int; (* threads + RAs, as Fig. 13 counts them *)
+  ca_cycles : int list; (* per training input *)
+  ca_speedups : float list;
+  ca_gmean : float;
+}
+
+type outcome = {
+  best : Costmodel.cut list;
+  all : candidate list; (* every profiled candidate *)
+  serial_cycles : int list;
+}
+
+(* All non-empty subsets of the top-k cuts with at most [max_cuts] members,
+   each subset ordered by program position. *)
+let enumerate_cut_sets ?(top_k = 6) ?(max_cuts = 3) (serial : pipeline) :
+    Costmodel.cut list list =
+  let cuts = Compile.candidates serial in
+  let top = List.filteri (fun i _ -> i < top_k) cuts in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | c :: rest ->
+      let without = subsets rest in
+      List.map (fun s -> c :: s) without @ without
+  in
+  subsets top
+  |> List.filter (fun s -> s <> [] && List.length s <= max_cuts)
+  |> List.map
+       (List.sort (fun (a : Costmodel.cut) b ->
+            compare (List.hd a.cut_loads) (List.hd b.cut_loads)))
+
+(* One training run: returns cycles if the pipeline runs and matches the
+   serial result on the checked arrays. Candidates that run away (e.g. an
+   inconsistent control-value protocol that spins forever) are killed by a
+   budget derived from the serial instruction count. *)
+let profile_one ~cfg ~check_arrays ~budget pipeline ~inputs ~serial_result =
+  let saved = !Phloem_ir.Interp.max_ops in
+  Phloem_ir.Interp.max_ops := budget;
+  let result =
+    match Pipette.Sim.run ~cfg ~inputs pipeline with
+    | exception _ -> None
+    | r -> Some r
+  in
+  Phloem_ir.Interp.max_ops := saved;
+  match result with
+  | None -> None
+  | Some r ->
+    let ok =
+      List.for_all
+        (fun name ->
+          List.assoc_opt name r.Pipette.Sim.sr_functional.Phloem_ir.Interp.r_arrays
+          = List.assoc_opt name serial_result)
+        check_arrays
+    in
+    if ok then Some r else None
+
+(* Profile-guided optimization over a list of training bindings.
+   [training] supplies, per training input, the serial pipeline and its
+   array contents. [check_arrays] names the output arrays that must match. *)
+let pgo ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default) ?(top_k = 6)
+    ?(max_cuts = 3) ~check_arrays
+    ~(training : (pipeline * (string * value array) list) list) () : outcome =
+  match training with
+  | [] -> invalid_arg "Search.pgo: no training inputs"
+  | (serial0, _) :: _ ->
+    let cut_sets = enumerate_cut_sets ~top_k ~max_cuts serial0 in
+    let serial_runs =
+      List.map
+        (fun (serial, inputs) ->
+          let r = Pipette.Sim.run ~cfg ~inputs serial in
+          (serial, inputs, r))
+        training
+    in
+    let serial_cycles =
+      List.map (fun (_, _, r) -> Pipette.Sim.cycles r) serial_runs
+    in
+    let candidates =
+      List.filter_map
+        (fun cuts ->
+          let runs =
+            List.map
+              (fun (serial, inputs, sr) ->
+                match Compile.with_cuts ~flags serial cuts with
+                | exception Decouple.Reject _ -> None
+                | exception Phloem_ir.Validate.Invalid _ -> None
+                | p ->
+                  let budget =
+                    max 2_000_000
+                      (8 * sr.Pipette.Sim.sr_functional.Phloem_ir.Interp.r_instrs)
+                  in
+                  Option.map
+                    (fun r -> (p, Pipette.Sim.cycles r))
+                    (profile_one ~cfg ~check_arrays ~budget p ~inputs
+                       ~serial_result:sr.Pipette.Sim.sr_functional.Phloem_ir.Interp.r_arrays))
+              serial_runs
+          in
+          if List.exists (fun r -> r = None) runs then None
+          else
+            let runs = List.filter_map Fun.id runs in
+            let cycles = List.map snd runs in
+            let stages =
+              match runs with
+              | (p, _) :: _ -> List.length p.p_stages + List.length p.p_ras
+              | [] -> 0
+            in
+            let speedups =
+              List.map2 (fun s c -> float_of_int s /. float_of_int c) serial_cycles cycles
+            in
+            Some
+              {
+                ca_cuts = cuts;
+                ca_stages = stages;
+                ca_cycles = cycles;
+                ca_speedups = speedups;
+                ca_gmean = Phloem_util.Stats.gmean speedups;
+              })
+        cut_sets
+    in
+    (match candidates with
+    | [] -> invalid_arg "Search.pgo: no legal candidate pipelines"
+    | _ ->
+      let best =
+        List.fold_left
+          (fun acc c -> if c.ca_gmean > acc.ca_gmean then c else acc)
+          (List.hd candidates) (List.tl candidates)
+      in
+      { best = best.ca_cuts; all = candidates; serial_cycles })

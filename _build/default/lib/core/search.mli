@@ -1,0 +1,40 @@
+(** Profile-guided pipeline search (paper Sec. V, Fig. 8): enumerate
+    candidate pipelines from combinations of the top-ranked decoupling
+    points, profile each on small training inputs, keep the best. The
+    paper reports "no fewer than fifty" candidates per benchmark at four
+    threads; [top_k]/[max_cuts] control the space here.
+
+    A candidate is discarded when the decoupler rejects its cuts, when the
+    generated pipeline fails validation, or when its simulated result
+    differs from the serial run on the checked arrays (this is also what
+    catches decouplings that would race). *)
+
+type candidate = {
+  ca_cuts : Costmodel.cut list;  (** in program order *)
+  ca_stages : int;  (** threads + RAs, as Fig. 13 counts them *)
+  ca_cycles : int list;  (** per training input *)
+  ca_speedups : float list;
+  ca_gmean : float;
+}
+
+type outcome = {
+  best : Costmodel.cut list;  (** the recipe to apply to test inputs *)
+  all : candidate list;  (** every legal candidate profiled (Fig. 13) *)
+  serial_cycles : int list;
+}
+
+val enumerate_cut_sets :
+  ?top_k:int -> ?max_cuts:int -> Phloem_ir.Types.pipeline -> Costmodel.cut list list
+
+val pgo :
+  ?flags:Decouple.flags ->
+  ?cfg:Pipette.Config.t ->
+  ?top_k:int ->
+  ?max_cuts:int ->
+  check_arrays:string list ->
+  training:
+    (Phloem_ir.Types.pipeline * (string * Phloem_ir.Types.value array) list) list ->
+  unit ->
+  outcome
+(** @raise Invalid_argument when no training inputs are given or no
+    candidate survives profiling. *)

@@ -1,0 +1,1 @@
+lib/graph/algos.ml: Array Csr Phloem_util Queue Stack

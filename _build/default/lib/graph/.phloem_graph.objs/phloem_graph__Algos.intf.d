@@ -1,0 +1,1 @@
+lib/graph/algos.mli: Csr

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Csr Phloem_util Prng

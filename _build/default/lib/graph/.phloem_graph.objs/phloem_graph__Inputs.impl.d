@@ -1,0 +1,1 @@
+lib/graph/inputs.ml: Csr Gen Lazy List Phloem_util Printf

@@ -1,0 +1,99 @@
+(* Pure-OCaml reference implementations of the paper's graph benchmarks.
+   These are the ground truth every simulated variant (serial, data-parallel,
+   Phloem, manual) is validated against. *)
+
+let int_max = 0x3FFFFFFF
+
+(* Breadth-first search: distance of every vertex reachable from [root];
+   unreachable vertices keep [int_max]. *)
+let bfs (g : Csr.t) ~root =
+  let dist = Array.make g.Csr.n int_max in
+  dist.(root) <- 0;
+  let cur = Queue.create () in
+  Queue.push root cur;
+  let rec go () =
+    if not (Queue.is_empty cur) then begin
+      let v = Queue.pop cur in
+      let d = dist.(v) + 1 in
+      Csr.iter_neighbors g v (fun u ->
+          if dist.(u) = int_max then begin
+            dist.(u) <- d;
+            Queue.push u cur
+          end);
+      go ()
+    end
+  in
+  go ();
+  dist
+
+(* Connected components: label of each vertex = smallest vertex id in its
+   component (searches from each unlabeled vertex, as in the paper). *)
+let connected_components (g : Csr.t) =
+  let label = Array.make g.Csr.n (-1) in
+  let stack = Stack.create () in
+  for v = 0 to g.Csr.n - 1 do
+    if label.(v) < 0 then begin
+      label.(v) <- v;
+      Stack.push v stack;
+      while not (Stack.is_empty stack) do
+        let x = Stack.pop stack in
+        Csr.iter_neighbors g x (fun u ->
+            if label.(u) < 0 then begin
+              label.(u) <- v;
+              Stack.push u stack
+            end)
+      done
+    end
+  done;
+  label
+
+(* PageRank-Delta (Ligra-style): only vertices whose delta exceeds
+   [eps] propagate. Deterministic accumulation in vertex order so the
+   simulated serial version can match exactly. *)
+let pagerank_delta (g : Csr.t) ~iters ~damping ~eps =
+  let n = g.Csr.n in
+  let rank = Array.make n ((1.0 -. damping) /. float_of_int n) in
+  let delta = Array.make n (1.0 /. float_of_int n) in
+  let active = Array.make n true in
+  for _ = 1 to iters do
+    let ngh_sum = Array.make n 0.0 in
+    for v = 0 to n - 1 do
+      if active.(v) then begin
+        let contrib = delta.(v) /. float_of_int (max 1 (Csr.degree g v)) in
+        Csr.iter_neighbors g v (fun u -> ngh_sum.(u) <- ngh_sum.(u) +. contrib)
+      end
+    done;
+    for u = 0 to n - 1 do
+      let d = damping *. ngh_sum.(u) in
+      delta.(u) <- d;
+      if abs_float d > eps then begin
+        rank.(u) <- rank.(u) +. d;
+        active.(u) <- true
+      end
+      else active.(u) <- false
+    done
+  done;
+  rank
+
+(* Radii estimation: BFS from the given sources; radii.(v) is the max
+   distance from any sample, and the estimate is the overall max. *)
+let radii_from_roots (g : Csr.t) ~roots =
+  let n = g.Csr.n in
+  let radii = Array.make n 0 in
+  let estimate = ref 0 in
+  Array.iter
+    (fun root ->
+      let dist = bfs g ~root in
+      for v = 0 to n - 1 do
+        if dist.(v) < int_max && dist.(v) > radii.(v) then radii.(v) <- dist.(v);
+        if radii.(v) > !estimate then estimate := radii.(v)
+      done)
+    roots;
+  (radii, !estimate)
+
+let sample_roots (g : Csr.t) ~samples ~seed =
+  let rng = Phloem_util.Prng.create seed in
+  Array.init samples (fun _ -> Phloem_util.Prng.int rng g.Csr.n)
+
+let radii (g : Csr.t) ~samples ~seed =
+  radii_from_roots g ~roots:(sample_roots g ~samples ~seed)

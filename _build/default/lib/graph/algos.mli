@@ -1,0 +1,30 @@
+(** Pure-OCaml reference implementations of the evaluated graph algorithms.
+
+    Every simulated variant (serial, data-parallel, Phloem-compiled, manual)
+    is validated against these. They follow the exact iteration order of the
+    serial kernels so even floating-point results compare bit-for-bit. *)
+
+val int_max : int
+(** The "unvisited" sentinel used by the kernels (fits in 32 bits). *)
+
+val bfs : Csr.t -> root:int -> int array
+(** [bfs g ~root] is the distance of every vertex from [root]; unreachable
+    vertices hold {!int_max}. *)
+
+val connected_components : Csr.t -> int array
+(** Label of each vertex = the smallest vertex id in its component
+    (searches from each unlabeled vertex, as the paper describes). *)
+
+val pagerank_delta : Csr.t -> iters:int -> damping:float -> eps:float -> float array
+(** Ligra-style PageRank-Delta: only vertices whose delta exceeds [eps]
+    propagate in a round. Deterministic, vertex-ordered accumulation. *)
+
+val radii_from_roots : Csr.t -> roots:int array -> int array * int
+(** [radii_from_roots g ~roots] runs one BFS per root; returns per-vertex
+    maximum observed distance and the overall radius estimate. *)
+
+val sample_roots : Csr.t -> samples:int -> seed:int -> int array
+(** Deterministic pseudo-random BFS sources for Radii. *)
+
+val radii : Csr.t -> samples:int -> seed:int -> int array * int
+(** {!radii_from_roots} over {!sample_roots}. *)

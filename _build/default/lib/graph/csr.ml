@@ -1,0 +1,89 @@
+(* Compressed Sparse Row graphs, the representation used throughout the
+   paper (Sec. II). [offsets] has n+1 entries; the neighbors of vertex v are
+   [edges.(offsets.(v)) .. edges.(offsets.(v+1) - 1)]. *)
+
+type t = {
+  n : int; (* vertices *)
+  m : int; (* directed edges *)
+  offsets : int array; (* length n+1 *)
+  edges : int array; (* length m *)
+}
+
+exception Malformed of string
+
+let check g =
+  if Array.length g.offsets <> g.n + 1 then raise (Malformed "offsets length");
+  if Array.length g.edges <> g.m then raise (Malformed "edges length");
+  if g.offsets.(0) <> 0 then raise (Malformed "offsets.(0) <> 0");
+  if g.offsets.(g.n) <> g.m then raise (Malformed "offsets.(n) <> m");
+  for v = 0 to g.n - 1 do
+    if g.offsets.(v) > g.offsets.(v + 1) then raise (Malformed "offsets not monotone")
+  done;
+  Array.iter
+    (fun u -> if u < 0 || u >= g.n then raise (Malformed "edge endpoint out of range"))
+    g.edges
+
+let degree g v = g.offsets.(v + 1) - g.offsets.(v)
+
+let iter_neighbors g v f =
+  for e = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+    f g.edges.(e)
+  done
+
+let avg_degree g = if g.n = 0 then 0.0 else float_of_int g.m /. float_of_int g.n
+
+(* Build from a directed edge list; duplicate edges are kept (multigraph),
+   matching what generators produce. Neighbors are sorted per vertex. *)
+let of_edge_list ~n pairs =
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then raise (Malformed "edge out of range");
+      deg.(u) <- deg.(u) + 1)
+    pairs;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + deg.(v)
+  done;
+  let m = offsets.(n) in
+  let edges = Array.make (max m 1) 0 in
+  let cursor = Array.copy offsets in
+  List.iter
+    (fun (u, v) ->
+      edges.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1)
+    pairs;
+  (* sort each adjacency list for locality and determinism *)
+  for v = 0 to n - 1 do
+    let lo = offsets.(v) and hi = offsets.(v + 1) in
+    let sub = Array.sub edges lo (hi - lo) in
+    Array.sort compare sub;
+    Array.blit sub 0 edges lo (hi - lo)
+  done;
+  let g = { n; m; offsets; edges = (if m = 0 then [||] else edges) } in
+  check g;
+  g
+
+(* Make the graph symmetric (undirected) by adding reverse edges and
+   deduplicating. *)
+let symmetrize g =
+  let pairs = ref [] in
+  for v = 0 to g.n - 1 do
+    iter_neighbors g v (fun u ->
+        if u <> v then begin
+          pairs := (v, u) :: !pairs;
+          pairs := (u, v) :: !pairs
+        end)
+  done;
+  let dedup = Hashtbl.create (2 * g.m) in
+  let uniq =
+    List.filter
+      (fun e ->
+        if Hashtbl.mem dedup e then false
+        else begin
+          Hashtbl.replace dedup e ();
+          true
+        end)
+      !pairs
+  in
+  of_edge_list ~n:g.n uniq

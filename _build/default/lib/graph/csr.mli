@@ -1,0 +1,25 @@
+(** Compressed Sparse Row graphs (the paper's representation, Sec. II). *)
+
+type t = {
+  n : int;  (** vertices *)
+  m : int;  (** directed edges *)
+  offsets : int array;  (** length n+1; the paper's [g->nodes] *)
+  edges : int array;  (** length m; the paper's [g->edges] *)
+}
+
+exception Malformed of string
+
+val check : t -> unit
+(** Well-formedness: offset monotonicity, endpoint ranges.
+    @raise Malformed otherwise. *)
+
+val degree : t -> int -> int
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+val avg_degree : t -> float
+
+val of_edge_list : n:int -> (int * int) list -> t
+(** Build from directed edges; duplicates are kept, adjacency lists are
+    sorted. @raise Malformed on out-of-range endpoints. *)
+
+val symmetrize : t -> t
+(** Undirected closure with duplicate edges removed. *)

@@ -1,0 +1,103 @@
+(* Synthetic graph generators standing in for the paper's Table IV inputs
+   (DIMACS road networks, SNAP internet/collaboration graphs, meshes).
+   What matters for the evaluation's shape is the degree distribution and
+   the working-set size relative to the caches, both controlled here. *)
+
+open Phloem_util
+
+(* Road-network-like: a W x H grid with 4-neighbor connectivity and a small
+   fraction of random "highway" shortcuts. Low uniform degree (~2-4), long
+   diameter — like USA-road-d. *)
+let grid ~width ~height ~seed =
+  let rng = Prng.create seed in
+  let n = width * height in
+  let id x y = (y * width) + x in
+  let pairs = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if x + 1 < width then begin
+        pairs := (id x y, id (x + 1) y) :: !pairs;
+        pairs := (id (x + 1) y, id x y) :: !pairs
+      end;
+      if y + 1 < height then begin
+        pairs := (id x y, id x (y + 1)) :: !pairs;
+        pairs := (id x (y + 1), id x y) :: !pairs
+      end
+    done
+  done;
+  (* shortcuts: ~1% of vertices get a long-range link *)
+  for _ = 1 to max 1 (n / 100) do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v then begin
+      pairs := (u, v) :: !pairs;
+      pairs := (v, u) :: !pairs
+    end
+  done;
+  Csr.of_edge_list ~n !pairs
+
+(* Power-law-ish (internet/collaboration/as-Skitter-like): R-MAT with the
+   classic (0.57, 0.19, 0.19, 0.05) partition probabilities. *)
+let rmat ~scale ~edge_factor ~seed =
+  let rng = Prng.create seed in
+  let n = 1 lsl scale in
+  let m = n * edge_factor in
+  let a, b, c = (0.57, 0.19, 0.19) in
+  let gen_edge () =
+    let u = ref 0 and v = ref 0 in
+    for _ = 1 to scale do
+      let r = Prng.float rng 1.0 in
+      let bit_u, bit_v =
+        if r < a then (0, 0)
+        else if r < a +. b then (0, 1)
+        else if r < a +. b +. c then (1, 0)
+        else (1, 1)
+      in
+      u := (!u lsl 1) lor bit_u;
+      v := (!v lsl 1) lor bit_v
+    done;
+    (!u, !v)
+  in
+  let pairs = ref [] in
+  for _ = 1 to m / 2 do
+    let u, v = gen_edge () in
+    if u <> v then begin
+      pairs := (u, v) :: !pairs;
+      pairs := (v, u) :: !pairs
+    end
+  done;
+  Csr.of_edge_list ~n !pairs
+
+(* Uniform random (Erdős–Rényi by edge sampling), symmetric. *)
+let uniform ~n ~avg_degree ~seed =
+  let rng = Prng.create seed in
+  let m = n * avg_degree / 2 in
+  let pairs = ref [] in
+  for _ = 1 to m do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v then begin
+      pairs := (u, v) :: !pairs;
+      pairs := (v, u) :: !pairs
+    end
+  done;
+  Csr.of_edge_list ~n !pairs
+
+(* Mesh-like (hugetrace dynamic-simulation style): a triangulated grid,
+   degree ~3 and very regular locality. *)
+let mesh ~width ~height ~seed =
+  let rng = Prng.create seed in
+  ignore rng;
+  let n = width * height in
+  let id x y = (y * width) + x in
+  let pairs = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let add u v =
+        pairs := (u, v) :: !pairs;
+        pairs := (v, u) :: !pairs
+      in
+      if x + 1 < width then add (id x y) (id (x + 1) y);
+      if y + 1 < height then add (id x y) (id x (y + 1));
+      if x + 1 < width && y + 1 < height then add (id x y) (id (x + 1) (y + 1))
+    done
+  done;
+  Csr.of_edge_list ~n !pairs

@@ -1,0 +1,62 @@
+(* Table IV: input graphs. Each paper input is replaced by a synthetic
+   counterpart with a matching degree profile, scaled down so event-driven
+   simulation of every variant stays tractable. [scale] multiplies the
+   vertex counts (1.0 = default evaluation size). *)
+
+type input = {
+  name : string; (* the paper's name *)
+  domain : string;
+  kind : [ `Training | `Test ];
+  substitute : string; (* what we generate instead *)
+  graph : Csr.t Lazy.t;
+}
+
+let mk name domain kind substitute gen =
+  { name; domain; kind; substitute; graph = Lazy.from_fun gen }
+
+let sc scale base = max 8 (int_of_float (float_of_int base *. scale))
+
+let all ?(scale = 1.0) () =
+  [
+    (* --- training inputs --- *)
+    mk "internet" "Training internet graph" `Training "R-MAT scale 10, ef 2"
+      (fun () -> Gen.rmat ~scale:10 ~edge_factor:2 ~seed:101);
+    mk "USA-road-d-NY" "Training road network" `Training "grid w/ shortcuts"
+      (fun () -> Gen.grid ~width:(sc scale 56) ~height:(sc scale 48) ~seed:102);
+    (* --- test inputs (Table IV order: sorted by edge count) --- *)
+    mk "coAuthorsDBLP" "Human collaboration" `Test "R-MAT scale 11, ef 6"
+      (fun () -> Gen.rmat ~scale:11 ~edge_factor:6 ~seed:103);
+    mk "hugetrace-00000" "Dynamic simulation" `Test "triangulated mesh"
+      (fun () -> Gen.mesh ~width:(sc scale 80) ~height:(sc scale 64) ~seed:104);
+    mk "Freescale1" "Circuit simulation" `Test "uniform, avg deg 5.6"
+      (fun () -> Gen.uniform ~n:(sc scale 5000) ~avg_degree:5 ~seed:105);
+    mk "as-Skitter" "Internet graph" `Test "R-MAT scale 11, ef 12"
+      (fun () -> Gen.rmat ~scale:11 ~edge_factor:12 ~seed:106);
+    mk "USA-road-d-USA" "Road network" `Test "large grid w/ shortcuts"
+      (fun () -> Gen.grid ~width:(sc scale 104) ~height:(sc scale 88) ~seed:107);
+  ]
+
+let training ?scale () = List.filter (fun i -> i.kind = `Training) (all ?scale ())
+let test ?scale () = List.filter (fun i -> i.kind = `Test) (all ?scale ())
+
+let find ?scale name =
+  match List.find_opt (fun i -> i.name = name) (all ?scale ()) with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "unknown graph input %s" name)
+
+let table4 ?scale () =
+  let t = Phloem_util.Table.create [ "Domain"; "Graph"; "Vertices"; "Edges"; "Avg. deg."; "Substitute" ] in
+  List.iter
+    (fun i ->
+      let g = Lazy.force i.graph in
+      Phloem_util.Table.add_row t
+        [
+          i.domain;
+          i.name;
+          string_of_int g.Csr.n;
+          string_of_int g.Csr.m;
+          Phloem_util.Table.fmt_float ~decimals:1 (Csr.avg_degree g);
+          i.substitute;
+        ])
+    (all ?scale ());
+  Phloem_util.Table.render t

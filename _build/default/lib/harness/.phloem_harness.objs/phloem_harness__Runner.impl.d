@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array List Option Phloem Phloem_ir Phloem_workloads Pipette Printexc Workload

@@ -1,0 +1,457 @@
+(* Reproduction of every table and figure in the paper's evaluation
+   (Sec. VI-VII). Each function prints a plain-text rendering of the
+   corresponding figure's data. [scale] shrinks the synthetic inputs
+   uniformly so the full suite runs in minutes. *)
+
+open Phloem_workloads
+module Table = Phloem_util.Table
+module Stats = Phloem_util.Stats
+
+let fmt = Table.fmt_float
+
+let default_scale () =
+  match Sys.getenv_opt "PHLOEM_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 1.0)
+  | None -> 1.0
+
+let section title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+(* --- inputs --- *)
+
+let graph_of name ~scale = Lazy.force (Phloem_graph.Inputs.find ~scale name).Phloem_graph.Inputs.graph
+
+let test_graphs ~scale =
+  List.map
+    (fun i -> (i.Phloem_graph.Inputs.name, Lazy.force i.Phloem_graph.Inputs.graph))
+    (Phloem_graph.Inputs.test ~scale ())
+
+let training_graphs ~scale =
+  List.map
+    (fun i -> (i.Phloem_graph.Inputs.name, Lazy.force i.Phloem_graph.Inputs.graph))
+    (Phloem_graph.Inputs.training ~scale ())
+
+(* SpMM is O(rows x cols) output-stationary: scale its matrices down hard. *)
+let spmm_scale scale = 0.12 *. scale
+
+let spmm_pairs ~scale kind =
+  let inputs =
+    match kind with
+    | `Test -> Phloem_sparse.Inputs.spmm_test ~scale:(spmm_scale scale) ()
+    | `Training -> Phloem_sparse.Inputs.spmm_training ~scale:(spmm_scale scale) ()
+  in
+  List.map
+    (fun i ->
+      let a = Lazy.force i.Phloem_sparse.Inputs.matrix in
+      (* B^T: reuse the same generator family with a shifted seed via transpose *)
+      (i.Phloem_sparse.Inputs.name, a, Phloem_sparse.Csr_matrix.transpose a))
+    inputs
+
+let taco_matrices ~scale =
+  List.map
+    (fun i -> (i.Phloem_sparse.Inputs.name, Lazy.force i.Phloem_sparse.Inputs.matrix))
+    (Phloem_sparse.Inputs.taco_test ~scale:(0.35 *. scale) ())
+
+(* --- tables --- *)
+
+let table3 () =
+  section "Table III: configuration of the evaluated system";
+  List.iter print_endline (Pipette.Config.table3_lines Pipette.Config.four_cores)
+
+let table4 ?(scale = default_scale ()) () =
+  section "Table IV: input graphs (synthetic substitutes)";
+  print_string (Phloem_graph.Inputs.table4 ~scale ())
+
+let table5 ?(scale = default_scale ()) () =
+  section "Table V: input matrices (synthetic substitutes)";
+  print_string (Phloem_sparse.Inputs.table5 ~scale:(0.35 *. scale) ())
+
+(* --- Fig. 6: BFS speedup as passes are added --- *)
+
+let fig6 ?(scale = default_scale ()) () =
+  section "Fig. 6: BFS speedup over serial with each added pass";
+  let g = graph_of "USA-road-d-USA" ~scale in
+  let b = Bfs.bind g in
+  let serial_p, inputs = b.Workload.b_serial in
+  let sr = Pipette.Sim.run ~inputs serial_p in
+  let sc = Pipette.Sim.cycles sr in
+  let open Phloem.Decouple in
+  let variants =
+    [
+      ("Serial", None);
+      ("Q (queues only)", Some queues_only);
+      ("Q+R (+recompute)", Some { queues_only with f_recompute = true });
+      ("Q+R+CV (+control values)", Some { queues_only with f_recompute = true; f_cv = true });
+      ( "Q+R+CV+DCE (+inter-stage DCE)",
+        Some { queues_only with f_recompute = true; f_cv = true; f_dce = true } );
+      ( "Q+R+CV+DCE+CH (+handlers)",
+        Some
+          {
+            queues_only with
+            f_recompute = true;
+            f_cv = true;
+            f_dce = true;
+            f_handlers = true;
+          } );
+      ("All (+reference accelerators)", Some all_passes);
+      ("Manually pipelined", None);
+    ]
+  in
+  let t = Table.create [ "Variant"; "Cycles"; "Speedup" ] in
+  List.iter
+    (fun (name, flags) ->
+      let cycles =
+        match (name, flags) with
+        | "Serial", _ -> Some sc
+        | "Manually pipelined", _ ->
+          Option.map
+            (fun mp -> Pipette.Sim.cycles (Pipette.Sim.run ~inputs:(snd mp) (fst mp)))
+            b.Workload.b_manual
+        | _, Some flags -> (
+          match Phloem.Compile.static_flow ~flags ~stages:4 serial_p with
+          | p -> Some (Pipette.Sim.cycles (Pipette.Sim.run ~inputs p))
+          | exception _ -> None)
+        | _, None -> None
+      in
+      match cycles with
+      | Some c ->
+        Table.add_row t [ name; string_of_int c; fmt (float_of_int sc /. float_of_int c) ^ "x" ]
+      | None -> Table.add_row t [ name; "-"; "-" ])
+    variants;
+  print_string (Table.render t)
+
+(* --- Fig. 9/10/11: graph + SpMM benchmarks, all variants --- *)
+
+type bench_runs = {
+  br_bench : string;
+  br_input : string;
+  br_runs : Runner.all_runs;
+}
+
+let graph_bound name g =
+  match name with
+  | "BFS" -> Bfs.bind g
+  | "CC" -> Cc.bind g
+  | "PRD" -> Prd.bind g
+  | "Radii" -> Radii.bind g
+  | _ -> invalid_arg name
+
+let pgo_recipe ~scale bench =
+  let training = training_graphs ~scale in
+  match bench with
+  | "SpMM" ->
+    let bounds =
+      List.map (fun (_, a, bt) -> Spmm.bind a bt) (spmm_pairs ~scale `Training)
+    in
+    (try Some (Runner.pgo_cuts bounds).Phloem.Search.best with _ -> None)
+  | _ ->
+    let bounds = List.map (fun (_, g) -> graph_bound bench g) training in
+    (try Some (Runner.pgo_cuts bounds).Phloem.Search.best with _ -> None)
+
+let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
+
+let run_benchmark ~scale bench : bench_runs list =
+  progress "[fig9-11] %s: profile-guided search..." bench;
+  let pgo = pgo_recipe ~scale bench in
+  match bench with
+  | "SpMM" ->
+    List.map
+      (fun (name, a, bt) ->
+        progress "[fig9-11] %s on %s" bench name;
+        let b = Spmm.bind a bt in
+        { br_bench = bench; br_input = name; br_runs = Runner.run_all ?pgo_cuts:pgo b })
+      (spmm_pairs ~scale `Test)
+  | _ ->
+    List.map
+      (fun (name, g) ->
+        progress "[fig9-11] %s on %s" bench name;
+        let b = graph_bound bench g in
+        { br_bench = bench; br_input = name; br_runs = Runner.run_all ?pgo_cuts:pgo b })
+      (test_graphs ~scale)
+
+let benches = [ "BFS"; "CC"; "PRD"; "Radii"; "SpMM" ]
+
+let collect ?(scale = default_scale ()) () =
+  List.map (fun b -> (b, run_benchmark ~scale b)) benches
+
+let gmean_of sel (runs : bench_runs list) =
+  Stats.gmean (List.map (fun r -> sel r.br_runs) runs)
+
+let fig9 ?(all = None) ?(scale = default_scale ()) () =
+  section "Fig. 9: per-benchmark speedup over serial (gmean across inputs)";
+  let all = match all with Some a -> a | None -> collect ~scale () in
+  let t =
+    Table.create
+      [ "Benchmark"; "Data-parallel"; "Phloem (PGO)"; "Phloem static (x)"; "Manual" ]
+  in
+  List.iter
+    (fun (bench, runs) ->
+      let dp = gmean_of (fun r -> r.Runner.data_parallel.Runner.m_speedup) runs in
+      let ps = gmean_of (fun r -> r.Runner.phloem_static.Runner.m_speedup) runs in
+      let pp =
+        try
+          gmean_of
+            (fun r ->
+              match r.Runner.phloem_pgo with
+              | Some m -> m.Runner.m_speedup
+              | None -> r.Runner.phloem_static.Runner.m_speedup)
+            runs
+        with _ -> ps
+      in
+      let man =
+        match (List.hd runs).br_runs.Runner.manual with
+        | Some _ -> fmt (gmean_of (fun r ->
+            match r.Runner.manual with Some m -> m.Runner.m_speedup | None -> 1.0) runs)
+        | None -> "-"
+      in
+      Table.add_row t [ bench; fmt dp; fmt pp; fmt ps; man ])
+    all;
+  let overall =
+    Stats.gmean
+      (List.concat_map
+         (fun (_, runs) ->
+           List.map
+             (fun r ->
+               match r.br_runs.Runner.phloem_pgo with
+               | Some m -> m.Runner.m_speedup
+               | None -> r.br_runs.Runner.phloem_static.Runner.m_speedup)
+             runs)
+         all)
+  in
+  print_string (Table.render t);
+  Printf.printf "Overall Phloem gmean speedup over serial: %sx\n" (fmt overall)
+
+let breakdown_row label (m : Runner.measurement) =
+  [
+    label;
+    fmt m.Runner.m_issue;
+    fmt m.Runner.m_backend;
+    fmt m.Runner.m_queue;
+    fmt m.Runner.m_other;
+    fmt (m.Runner.m_issue +. m.Runner.m_backend +. m.Runner.m_queue +. m.Runner.m_other);
+  ]
+
+let fig10 ?(all = None) ?(scale = default_scale ()) () =
+  section
+    "Fig. 10: cycle breakdown, thread-cycles normalized to the serial run\n\
+     (S serial, D data-parallel, P Phloem, M manual)";
+  let all = match all with Some a -> a | None -> collect ~scale () in
+  let t = Table.create [ "Bench/variant"; "Issue"; "Backend"; "Queue"; "Other"; "Total" ] in
+  List.iter
+    (fun (bench, runs) ->
+      (* average the normalized breakdowns across inputs *)
+      let avg sel =
+        let ms = List.map (fun r -> sel r.br_runs) runs in
+        let ms = List.filter_map Fun.id ms in
+        match ms with
+        | [] -> None
+        | _ ->
+          let n = float_of_int (List.length ms) in
+          let f g = List.fold_left (fun a m -> a +. g m) 0.0 ms /. n in
+          Some
+            {
+              (List.hd ms) with
+              Runner.m_issue = f (fun m -> m.Runner.m_issue);
+              m_backend = f (fun m -> m.Runner.m_backend);
+              m_queue = f (fun m -> m.Runner.m_queue);
+              m_other = f (fun m -> m.Runner.m_other);
+            }
+      in
+      let add label sel =
+        match avg sel with
+        | Some m -> Table.add_row t (breakdown_row (bench ^ "/" ^ label) m)
+        | None -> ()
+      in
+      add "S" (fun r -> Some r.Runner.serial);
+      add "D" (fun r -> Some r.Runner.data_parallel);
+      add "P" (fun r ->
+          Some (match r.Runner.phloem_pgo with Some m -> m | None -> r.Runner.phloem_static));
+      add "M" (fun r -> r.Runner.manual))
+    all;
+  print_string (Table.render t)
+
+let fig11 ?(all = None) ?(scale = default_scale ()) () =
+  section "Fig. 11: energy breakdown normalized to serial (core/memory/queues+RA/static)";
+  let all = match all with Some a -> a | None -> collect ~scale () in
+  let t =
+    Table.create [ "Bench/variant"; "Core dyn"; "Memory"; "Queues+RA"; "Static"; "Total" ]
+  in
+  List.iter
+    (fun (bench, runs) ->
+      let serial_tot =
+        Stats.mean
+          (List.map
+             (fun r -> Pipette.Energy.total r.br_runs.Runner.serial.Runner.m_energy)
+             runs)
+      in
+      let add label sel =
+        let es = List.filter_map (fun r -> sel r.br_runs) runs in
+        match es with
+        | [] -> ()
+        | _ ->
+          let n = float_of_int (List.length es) in
+          let f g = List.fold_left (fun a (m : Runner.measurement) -> a +. g m.Runner.m_energy) 0.0 es /. n /. serial_tot in
+          Table.add_row t
+            [
+              bench ^ "/" ^ label;
+              fmt (f (fun e -> e.Pipette.Energy.e_core_dynamic));
+              fmt (f (fun e -> e.Pipette.Energy.e_memory));
+              fmt (f (fun e -> e.Pipette.Energy.e_queues_ras));
+              fmt (f (fun e -> e.Pipette.Energy.e_static));
+              fmt (f Pipette.Energy.total);
+            ]
+      in
+      add "S" (fun r -> Some r.Runner.serial);
+      add "D" (fun r -> Some r.Runner.data_parallel);
+      add "P" (fun r ->
+          Some (match r.Runner.phloem_pgo with Some m -> m | None -> r.Runner.phloem_static));
+      add "M" (fun r -> r.Runner.manual))
+    all;
+  print_string (Table.render t)
+
+(* --- Fig. 12: Taco benchmarks --- *)
+
+let fig12 ?(scale = default_scale ()) () =
+  section "Fig. 12: Taco benchmarks, speedup over Taco serial (static Phloem flow)";
+  let t = Table.create [ "Benchmark"; "Data-parallel"; "Phloem (static)" ] in
+  List.iter
+    (fun kind ->
+      let runs =
+        List.map
+          (fun (_, m) ->
+            let b = Taco_kernels.bind kind m in
+            Runner.run_all b)
+          (taco_matrices ~scale)
+      in
+      let dp = Stats.gmean (List.map (fun r -> r.Runner.data_parallel.Runner.m_speedup) runs) in
+      let ps = Stats.gmean (List.map (fun r -> r.Runner.phloem_static.Runner.m_speedup) runs) in
+      Table.add_row t [ Taco_kernels.name_of kind; fmt dp; fmt ps ])
+    [ Taco_kernels.Mtmul; Taco_kernels.Residual; Taco_kernels.Spmv; Taco_kernels.Sddmm ];
+  print_string (Table.render t)
+
+(* --- Fig. 13: speedup distribution vs pipeline length --- *)
+
+let fig13 ?(scale = default_scale ()) () =
+  section
+    "Fig. 13: gmean speedup on training inputs of profiled pipelines by stage\n\
+     count (threads + RAs); min / best per length";
+  let t = Table.create [ "Benchmark"; "Stages"; "Min"; "Best"; "Candidates" ] in
+  let explore name (bounds : Workload.bound list) =
+    match
+      Runner.pgo_cuts ~top_k:6 ~max_cuts:3 bounds
+    with
+    | outcome ->
+      let by_len = Hashtbl.create 8 in
+      List.iter
+        (fun (c : Phloem.Search.candidate) ->
+          let cur = try Hashtbl.find by_len c.ca_stages with Not_found -> [] in
+          Hashtbl.replace by_len c.ca_stages (c.ca_gmean :: cur))
+        outcome.Phloem.Search.all;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_len []
+      |> List.sort compare
+      |> List.iter (fun (len, gs) ->
+             let lo, hi = Stats.min_max gs in
+             Table.add_row t
+               [
+                 name;
+                 string_of_int len;
+                 fmt lo;
+                 fmt hi;
+                 string_of_int (List.length gs);
+               ])
+    | exception e ->
+      Table.add_row t [ name; "-"; "-"; "-"; Printexc.to_string e ]
+  in
+  explore "BFS" (List.map (fun (_, g) -> Bfs.bind g) (training_graphs ~scale));
+  explore "SpMM"
+    (List.map (fun (_, a, bt) -> Spmm.bind a bt) (spmm_pairs ~scale `Training));
+  explore "SpMV"
+    (List.map
+       (fun (_, m) -> Taco_kernels.bind Taco_kernels.Spmv m)
+       [ List.hd (taco_matrices ~scale) ]);
+  print_string (Table.render t)
+
+(* --- Fig. 14: replicated pipelines on 4 cores x 4 threads --- *)
+
+let fig14 ?(scale = default_scale ()) () =
+  section "Fig. 14: replicated pipelines, 4 cores (vs 1-core serial)";
+  let cfg = Pipette.Config.four_cores in
+  let t =
+    Table.create [ "Benchmark"; "Data-parallel x16"; "Phloem replicated"; "Manual (1 core)" ]
+  in
+  let graphs = [ graph_of "USA-road-d-USA" ~scale; graph_of "as-Skitter" ~scale ] in
+  let row name ~serial_of ~dp_of ~rep_of ~man_of =
+    let speedups f =
+      Stats.gmean
+        (List.map
+           (fun g ->
+             let sc = serial_of g in
+             let c = f g in
+             float_of_int sc /. float_of_int c)
+           graphs)
+    in
+    Table.add_row t
+      [
+        name;
+        fmt (speedups dp_of);
+        fmt (speedups rep_of);
+        fmt (speedups man_of);
+      ]
+  in
+  let serial_cycles bind_fn g =
+    let b = bind_fn g in
+    let p, inputs = b.Workload.b_serial in
+    Pipette.Sim.cycles (Pipette.Sim.run ~inputs p)
+  in
+  let dp_cycles bind_fn g =
+    let b = bind_fn g in
+    let p, inputs = b.Workload.b_data_parallel ~threads:16 in
+    Pipette.Sim.cycles (Pipette.Sim.run ~cfg ~inputs p)
+  in
+  let man_cycles bind_fn g =
+    let b = bind_fn g in
+    match b.Workload.b_manual with
+    | Some (p, inputs) -> Pipette.Sim.cycles (Pipette.Sim.run ~inputs p)
+    | None -> max_int
+  in
+  let rep_cycles mk g =
+    let p, inputs, tc = mk g in
+    Pipette.Sim.cycles (Pipette.Sim.run ~cfg ~thread_core:tc ~inputs p)
+  in
+  row "BFS"
+    ~serial_of:(serial_cycles Bfs.bind)
+    ~dp_of:(dp_cycles Bfs.bind)
+    ~rep_of:(rep_cycles (fun g -> Replicated.bfs g ~replicas:4))
+    ~man_of:(man_cycles Bfs.bind);
+  row "CC"
+    ~serial_of:(serial_cycles Cc.bind)
+    ~dp_of:(dp_cycles Cc.bind)
+    ~rep_of:(rep_cycles (fun g -> Replicated.cc g ~replicas:4))
+    ~man_of:(man_cycles Cc.bind);
+  row "PRD"
+    ~serial_of:(serial_cycles Prd.bind)
+    ~dp_of:(dp_cycles Prd.bind)
+    ~rep_of:(rep_cycles (fun g -> Replicated.prd g ~replicas:4))
+    ~man_of:(man_cycles Prd.bind);
+  row "Radii"
+    ~serial_of:(serial_cycles Radii.bind)
+    ~dp_of:(dp_cycles Radii.bind)
+    ~rep_of:
+      (rep_cycles (fun g ->
+           let p, i, tc, _ = Replicated.radii g ~replicas:4 in
+           (p, i, tc)))
+    ~man_of:(man_cycles Radii.bind);
+  print_string (Table.render t)
+
+let run_all_experiments ?(scale = default_scale ()) () =
+  table3 ();
+  table4 ~scale ();
+  table5 ~scale ();
+  fig6 ~scale ();
+  let all = collect ~scale () in
+  fig9 ~all:(Some all) ~scale ();
+  fig10 ~all:(Some all) ~scale ();
+  fig11 ~all:(Some all) ~scale ();
+  fig12 ~scale ();
+  fig13 ~scale ();
+  fig14 ~scale ()

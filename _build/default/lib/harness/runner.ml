@@ -1,0 +1,120 @@
+(* Runs one workload binding through all evaluated systems (paper Sec. VI):
+   Serial, Data-parallel, Phloem (static or profile-guided), and the
+   manually pipelined version; collects cycles, cycle breakdowns, and
+   energy, and validates every run against the pure-OCaml reference. *)
+
+open Phloem_workloads
+
+type measurement = {
+  m_variant : string;
+  m_cycles : int;
+  m_instrs : int;
+  m_speedup : float; (* over the serial run on the same input *)
+  m_ok : bool;
+  m_issue : float; (* thread-cycles, normalized to serial cycles *)
+  m_backend : float;
+  m_queue : float;
+  m_other : float;
+  m_energy : Pipette.Energy.breakdown;
+  m_stages : int; (* threads + RAs *)
+}
+
+let of_run ~variant ~serial_cycles ~ok (r : Pipette.Sim.run) =
+  let t = r.Pipette.Sim.sr_timing in
+  let sc = float_of_int serial_cycles in
+  {
+    m_variant = variant;
+    m_cycles = t.Pipette.Engine.cycles;
+    m_instrs = t.Pipette.Engine.instrs;
+    m_speedup = sc /. float_of_int t.Pipette.Engine.cycles;
+    m_ok = ok;
+    m_issue = float_of_int t.Pipette.Engine.issue_cycles /. sc;
+    m_backend = float_of_int t.Pipette.Engine.backend_cycles /. sc;
+    m_queue = float_of_int t.Pipette.Engine.queue_cycles /. sc;
+    m_other = float_of_int t.Pipette.Engine.other_cycles /. sc;
+    m_energy = r.Pipette.Sim.sr_energy;
+    m_stages =
+      t.Pipette.Engine.n_threads
+      + Array.length r.Pipette.Sim.sr_functional.Phloem_ir.Interp.r_trace.Phloem_ir.Trace.ras;
+  }
+
+exception Variant_failed of string * string
+
+let run_one ?(cfg = Pipette.Config.default) ?thread_core (b : Workload.bound)
+    ~variant (p, inputs) ~serial_cycles =
+  match Pipette.Sim.run ~cfg ?thread_core ~inputs p with
+  | exception e -> raise (Variant_failed (variant, Printexc.to_string e))
+  | r ->
+    let ok = Workload.check b r.Pipette.Sim.sr_functional in
+    of_run ~variant ~serial_cycles ~ok r
+
+(* The Phloem pipeline for a bound: static cost model or a provided PGO cut
+   recipe (cut recipes transfer across inputs of the same kernel). *)
+let phloem_pipeline ?(stages = 4) ?cuts (b : Workload.bound) =
+  let serial_p = fst b.Workload.b_serial in
+  match cuts with
+  | Some cuts -> Phloem.Compile.with_cuts serial_p cuts
+  | None -> Phloem.Compile.static_flow ~stages serial_p
+
+type all_runs = {
+  serial : measurement;
+  data_parallel : measurement;
+  phloem_static : measurement;
+  phloem_pgo : measurement option;
+  manual : measurement option;
+}
+
+let run_all ?(cfg = Pipette.Config.default) ?(threads = 4) ?pgo_cuts
+    (b : Workload.bound) : all_runs =
+  let serial_p, serial_in = b.Workload.b_serial in
+  let sr =
+    match Pipette.Sim.run ~cfg ~inputs:serial_in serial_p with
+    | r -> r
+    | exception e -> raise (Variant_failed ("serial", Printexc.to_string e))
+  in
+  let serial_cycles = Pipette.Sim.cycles sr in
+  let serial_m =
+    of_run ~variant:"serial" ~serial_cycles
+      ~ok:(Workload.check b sr.Pipette.Sim.sr_functional)
+      sr
+  in
+  let dp =
+    run_one ~cfg b ~variant:"data-parallel"
+      (b.Workload.b_data_parallel ~threads)
+      ~serial_cycles
+  in
+  let ps =
+    run_one ~cfg b ~variant:"phloem-static"
+      (phloem_pipeline b, serial_in)
+      ~serial_cycles
+  in
+  let pp =
+    Option.map
+      (fun cuts ->
+        run_one ~cfg b ~variant:"phloem-pgo"
+          (phloem_pipeline ~cuts b, serial_in)
+          ~serial_cycles)
+      pgo_cuts
+  in
+  let man =
+    Option.map
+      (fun mp -> run_one ~cfg b ~variant:"manual" mp ~serial_cycles)
+      b.Workload.b_manual
+  in
+  {
+    serial = serial_m;
+    data_parallel = dp;
+    phloem_static = ps;
+    phloem_pgo = pp;
+    manual = man;
+  }
+
+(* PGO across a benchmark's training bindings; returns the best cut recipe. *)
+let pgo_cuts ?(cfg = Pipette.Config.default) ?(top_k = 6) ?(max_cuts = 3)
+    (training : Workload.bound list) : Phloem.Search.outcome =
+  match training with
+  | [] -> invalid_arg "pgo_cuts: no training bounds"
+  | b0 :: _ ->
+    Phloem.Search.pgo ~cfg ~top_k ~max_cuts ~check_arrays:b0.Workload.b_check_arrays
+      ~training:(List.map (fun b -> b.Workload.b_serial) training)
+      ()

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Effect Fun Hashtbl List Printf Queue String Trace Types

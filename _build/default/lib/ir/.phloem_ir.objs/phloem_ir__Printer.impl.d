@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array List Printf String Types

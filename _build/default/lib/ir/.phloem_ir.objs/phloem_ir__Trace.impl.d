@@ -1,0 +1,1 @@
+lib/ir/trace.ml: Array Phloem_util Vec

@@ -1,0 +1,88 @@
+(* A small eDSL for writing IR pipelines by hand: used for the manually
+   pipelined baselines, data-parallel variants, tests, and examples.
+
+   Open [Builder] locally; the operators are chosen not to clash with
+   Stdlib's arithmetic ([+!], [<!], ...). *)
+
+open Types
+
+let int n = Const (Vint n)
+let flt f = Const (Vfloat f)
+let v x = Var x
+let ( +! ) a b = Binop (Add, a, b)
+let ( -! ) a b = Binop (Sub, a, b)
+let ( *! ) a b = Binop (Mul, a, b)
+let ( /! ) a b = Binop (Div, a, b)
+let ( %! ) a b = Binop (Mod, a, b)
+let ( <! ) a b = Binop (Lt, a, b)
+let ( <=! ) a b = Binop (Le, a, b)
+let ( >! ) a b = Binop (Gt, a, b)
+let ( >=! ) a b = Binop (Ge, a, b)
+let ( ==! ) a b = Binop (Eq, a, b)
+let ( <>! ) a b = Binop (Ne, a, b)
+let ( &&! ) a b = Binop (And, a, b)
+let ( ||! ) a b = Binop (Or, a, b)
+let ( &! ) a b = Binop (Band, a, b)
+let ( ^! ) a b = Binop (Bxor, a, b)
+let ( <<! ) a b = Binop (Shl, a, b)
+let ( >>! ) a b = Binop (Shr, a, b)
+let imin a b = Binop (Min, a, b)
+let imax a b = Binop (Max, a, b)
+let neg a = Unop (Neg, a)
+let not_ a = Unop (Not, a)
+let to_float a = Unop (To_float, a)
+let to_int a = Unop (To_int, a)
+let fabs a = Unop (Fabs, a)
+let load a i = Load (a, i)
+let deq q = Deq q
+let is_control e = Is_control e
+let ctrl_payload e = Ctrl_payload e
+let call f args = Call (f, args)
+let true_ = int 1
+
+(* statements *)
+let ( <-- ) x e = Assign (x, e)
+let store a i e = Store (a, i, e)
+let atomic_min a i e = Atomic_min (a, i, e)
+let atomic_add a i e = Atomic_add (a, i, e)
+let prefetch a i = Prefetch (a, i)
+let enq q e = Enq (q, e)
+let enq_ctrl q cv = Enq_ctrl (q, cv)
+let enq_indexed qs sel e = Enq_indexed (qs, sel, e)
+let if_ c t f = If (fresh_site (), c, t, f)
+let when_ c t = If (fresh_site (), c, t, [])
+let while_ c body = While (fresh_site (), c, body)
+let loop_forever body = While (fresh_site (), true_, body)
+let for_ x lo hi body = For (fresh_site (), x, lo, hi, body)
+let break_ = Break
+let exit_loops n = Exit_loops n
+let barrier id = Barrier id
+
+let stage ?(handlers = []) name body =
+  { s_name = name; s_body = body; s_handlers = handlers }
+
+let handler ~queue ~cv body = { h_queue = queue; h_cv_var = cv; h_body = body }
+
+let queue ?(capacity = 24) id = { q_id = id; q_capacity = capacity }
+
+let ra ~id ~in_q ~out_q ~array ~mode =
+  { ra_id = id; ra_in = in_q; ra_out = out_q; ra_array = array; ra_mode = mode }
+
+let int_array name len = { a_name = name; a_ty = Ety_int; a_len = len }
+let float_array name len = { a_name = name; a_ty = Ety_float; a_len = len }
+
+let pipeline ?(queues = []) ?(ras = []) ?(arrays = []) ?(params = [])
+    ?(call_costs = []) name stages =
+  {
+    p_name = name;
+    p_stages = stages;
+    p_queues = queues;
+    p_ras = ras;
+    p_arrays = arrays;
+    p_params = params;
+    p_call_costs = call_costs;
+  }
+
+(* Convenience: wrap a serial body as a single-stage pipeline. *)
+let serial ?(arrays = []) ?(params = []) ?(call_costs = []) name body =
+  pipeline ~arrays ~params ~call_costs name [ stage "serial" body ]

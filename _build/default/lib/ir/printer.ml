@@ -1,0 +1,108 @@
+(* Human-readable rendering of IR pipelines, in a C-like surface syntax close
+   to the paper's Fig. 5 listings. Used by the phloemc CLI, tests, and
+   examples to show what each pass did. *)
+
+open Types
+
+let rec expr_to_string e =
+  match e with
+  | Const v -> value_to_string v
+  | Var x -> x
+  | Binop ((Min | Max) as op, a, b) ->
+    Printf.sprintf "%s(%s, %s)" (binop_to_string op) (expr_to_string a)
+      (expr_to_string b)
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+      (expr_to_string b)
+  | Unop (op, a) -> Printf.sprintf "%s(%s)" (unop_to_string op) (expr_to_string a)
+  | Load (a, i) -> Printf.sprintf "%s[%s]" a (expr_to_string i)
+  | Deq q -> Printf.sprintf "deq(q%d)" q
+  | Is_control e -> Printf.sprintf "is_control(%s)" (expr_to_string e)
+  | Ctrl_payload e -> Printf.sprintf "ctrl_payload(%s)" (expr_to_string e)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+
+let rec stmt_lines indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Assign (x, e) -> [ Printf.sprintf "%s%s = %s;" pad x (expr_to_string e) ]
+  | Store (a, i, v) ->
+    [ Printf.sprintf "%s%s[%s] = %s;" pad a (expr_to_string i) (expr_to_string v) ]
+  | Atomic_min (a, i, v) ->
+    [ Printf.sprintf "%satomic_min(%s[%s], %s);" pad a (expr_to_string i)
+        (expr_to_string v) ]
+  | Atomic_add (a, i, v) ->
+    [ Printf.sprintf "%satomic_add(%s[%s], %s);" pad a (expr_to_string i)
+        (expr_to_string v) ]
+  | Prefetch (a, i) -> [ Printf.sprintf "%sprefetch(%s[%s]);" pad a (expr_to_string i) ]
+  | Enq (q, e) -> [ Printf.sprintf "%senq(q%d, %s);" pad q (expr_to_string e) ]
+  | Enq_ctrl (q, cv) -> [ Printf.sprintf "%senq_ctrl(q%d, %d);" pad q cv ]
+  | Enq_indexed (qs, sel, v) ->
+    let ids = Array.to_list qs |> List.map string_of_int |> String.concat "," in
+    [ Printf.sprintf "%senq(q{%s}[%s], %s);" pad ids (expr_to_string sel)
+        (expr_to_string v) ]
+  | If (_, c, t, []) ->
+    (Printf.sprintf "%sif (%s) {" pad (expr_to_string c))
+    :: block_lines (indent + 2) t
+    @ [ pad ^ "}" ]
+  | If (_, c, t, f) ->
+    (Printf.sprintf "%sif (%s) {" pad (expr_to_string c))
+    :: block_lines (indent + 2) t
+    @ [ pad ^ "} else {" ]
+    @ block_lines (indent + 2) f
+    @ [ pad ^ "}" ]
+  | While (_, c, b) ->
+    (Printf.sprintf "%swhile (%s) {" pad (expr_to_string c))
+    :: block_lines (indent + 2) b
+    @ [ pad ^ "}" ]
+  | For (_, v, lo, hi, b) ->
+    (Printf.sprintf "%sfor (%s = %s; %s < %s; %s++) {" pad v (expr_to_string lo) v
+       (expr_to_string hi) v)
+    :: block_lines (indent + 2) b
+    @ [ pad ^ "}" ]
+  | Break -> [ pad ^ "break;" ]
+  | Exit_loops n -> [ Printf.sprintf "%sexit_loops(%d);" pad n ]
+  | Barrier id -> [ Printf.sprintf "%sbarrier(%d);" pad id ]
+  | Seq_marker m -> [ Printf.sprintf "%s/* %s */" pad m ]
+
+and block_lines indent stmts = List.concat_map (stmt_lines indent) stmts
+
+let stage_to_string st =
+  let header = Printf.sprintf "stage %s {" st.s_name in
+  let handlers =
+    List.concat_map
+      (fun h ->
+        Printf.sprintf "  on_control(q%d, %s) {" h.h_queue h.h_cv_var
+        :: block_lines 4 h.h_body
+        @ [ "  }" ])
+      st.s_handlers
+  in
+  String.concat "\n" ((header :: handlers) @ block_lines 2 st.s_body @ [ "}" ])
+
+let pipeline_to_string p =
+  let arrays =
+    List.map
+      (fun a ->
+        Printf.sprintf "array %s : %s[%d]" a.a_name
+          (match a.a_ty with Ety_int -> "int" | Ety_float -> "float")
+          a.a_len)
+      p.p_arrays
+  in
+  let queues =
+    List.map (fun q -> Printf.sprintf "queue q%d (cap %d)" q.q_id q.q_capacity) p.p_queues
+  in
+  let ras =
+    List.map
+      (fun r ->
+        Printf.sprintf "ra%d : q%d -> %s[%s] -> q%d" r.ra_id r.ra_in r.ra_array
+          (match r.ra_mode with Ra_indirect -> "indirect" | Ra_scan -> "scan")
+          r.ra_out)
+      p.p_ras
+  in
+  let params =
+    List.map (fun (x, v) -> Printf.sprintf "param %s = %s" x (value_to_string v)) p.p_params
+  in
+  String.concat "\n"
+    ((Printf.sprintf "pipeline %s" p.p_name :: arrays)
+    @ queues @ ras @ params
+    @ List.map stage_to_string p.p_stages)

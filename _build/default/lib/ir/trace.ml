@@ -1,0 +1,116 @@
+(* Micro-op traces produced by the functional interpreter and consumed by the
+   Pipette timing engine.
+
+   Each thread (pipeline stage) gets a linear trace of executed micro-ops.
+   Every op records its kind, up to two payload fields, and up to three
+   intra-thread data dependencies (indices of earlier ops in the same trace).
+   Cross-thread dependencies are expressed through queue sequence numbers:
+   the i-th dequeue of queue q anywhere matches the i-th enqueue of q. *)
+
+open Phloem_util
+
+(* Op kinds (column [kind]). Payloads a/b:
+     alu      : -
+     branch   : a = site id (PC), b = 1 if taken else 0
+     load     : a = byte address, b = access size
+     store    : a = byte address, b = access size
+     prefetch : a = byte address, b = access size
+     enq      : a = queue id, b = sequence number
+     deq      : a = queue id, b = sequence number
+     barrier  : a = barrier id
+     atomic   : a = byte address, b = access size *)
+let op_alu = 0
+let op_branch = 1
+let op_load = 2
+let op_store = 3
+let op_prefetch = 4
+let op_enq = 5
+let op_deq = 6
+let op_barrier = 7
+let op_atomic = 8
+
+let no_dep = -1
+
+type thread_trace = {
+  kind : Vec.Int_vec.t;
+  pa : Vec.Int_vec.t;
+  pb : Vec.Int_vec.t;
+  dep1 : Vec.Int_vec.t;
+  dep2 : Vec.Int_vec.t;
+  dep3 : Vec.Int_vec.t;
+}
+
+let create_thread () =
+  {
+    kind = Vec.Int_vec.create ~capacity:1024 ();
+    pa = Vec.Int_vec.create ~capacity:1024 ();
+    pb = Vec.Int_vec.create ~capacity:1024 ();
+    dep1 = Vec.Int_vec.create ~capacity:1024 ();
+    dep2 = Vec.Int_vec.create ~capacity:1024 ();
+    dep3 = Vec.Int_vec.create ~capacity:1024 ();
+  }
+
+let length t = Vec.Int_vec.length t.kind
+
+(* Append an op; returns its index (the token consumers depend on). *)
+let push t ~kind ~pa ~pb ~dep1 ~dep2 ~dep3 =
+  let idx = Vec.Int_vec.length t.kind in
+  Vec.Int_vec.push t.kind kind;
+  Vec.Int_vec.push t.pa pa;
+  Vec.Int_vec.push t.pb pb;
+  Vec.Int_vec.push t.dep1 dep1;
+  Vec.Int_vec.push t.dep2 dep2;
+  Vec.Int_vec.push t.dep3 dep3;
+  idx
+
+(* One reference-accelerator event: the RA consumed input sequence [in_seq]
+   from its input queue and will deliver output sequence [out_seq] into its
+   output queue. [addr] < 0 means a pass-through (control value or scan
+   boundary) with no memory access. *)
+type ra_trace = {
+  rt_in_seq : Vec.Int_vec.t;
+  rt_out_seq : Vec.Int_vec.t;
+  rt_addr : Vec.Int_vec.t;
+  rt_size : Vec.Int_vec.t;
+}
+
+let create_ra () =
+  {
+    rt_in_seq = Vec.Int_vec.create ~capacity:256 ();
+    rt_out_seq = Vec.Int_vec.create ~capacity:256 ();
+    rt_addr = Vec.Int_vec.create ~capacity:256 ();
+    rt_size = Vec.Int_vec.create ~capacity:256 ();
+  }
+
+let ra_length r = Vec.Int_vec.length r.rt_in_seq
+
+let ra_push r ~in_seq ~out_seq ~addr ~size =
+  Vec.Int_vec.push r.rt_in_seq in_seq;
+  Vec.Int_vec.push r.rt_out_seq out_seq;
+  Vec.Int_vec.push r.rt_addr addr;
+  Vec.Int_vec.push r.rt_size size
+
+(* A full program trace: one thread trace per stage (indexed by stage
+   position), one RA trace per reference accelerator, and the enqueue
+   producer map needed to resolve cross-thread queue dependencies:
+   [enq_thread.(q)] gives, for each sequence number, which thread (or RA,
+   encoded as [-1 - ra_index]) produced it. *)
+type t = {
+  threads : thread_trace array;
+  ras : ra_trace array;
+  n_queues : int;
+  mutable total_ops : int;
+}
+
+let create ~n_threads ~n_ras ~n_queues =
+  {
+    threads = Array.init n_threads (fun _ -> create_thread ());
+    ras = Array.init n_ras (fun _ -> create_ra ());
+    n_queues;
+    total_ops = 0;
+  }
+
+let op_count t =
+  Array.fold_left (fun acc th -> acc + length th) 0 t.threads
+
+let instruction_count t = op_count t

@@ -1,0 +1,139 @@
+(* Static well-formedness checks for pipelines. Run before interpreting or
+   compiling: catches malformed queue wiring and scoping mistakes early, with
+   messages that name the offending stage. *)
+
+open Types
+
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+type queue_use = { mutable producers : string list; mutable consumers : string list }
+
+let rec scan_expr ~stage ~arrays ~use_queue ~in_handler:_ e =
+  match e with
+  | Const _ | Var _ -> ()
+  | Binop (_, a, b) ->
+    scan_expr ~stage ~arrays ~use_queue ~in_handler:false a;
+    scan_expr ~stage ~arrays ~use_queue ~in_handler:false b
+  | Unop (_, a) | Is_control a | Ctrl_payload a ->
+    scan_expr ~stage ~arrays ~use_queue ~in_handler:false a
+  | Load (arr, i) ->
+    if not (List.mem arr arrays) then fail "stage %s: load from undeclared array %s" stage arr;
+    scan_expr ~stage ~arrays ~use_queue ~in_handler:false i
+  | Deq q -> use_queue `Consume q
+  | Call (_, args) ->
+    List.iter (scan_expr ~stage ~arrays ~use_queue ~in_handler:false) args
+
+let rec scan_stmt ~stage ~arrays ~use_queue ~loop_depth s =
+  let scan_e = scan_expr ~stage ~arrays ~use_queue ~in_handler:false in
+  match s with
+  | Assign (_, e) -> scan_e e
+  | Store (arr, i, e) | Atomic_min (arr, i, e) | Atomic_add (arr, i, e) ->
+    if not (List.mem arr arrays) then fail "stage %s: store to undeclared array %s" stage arr;
+    scan_e i;
+    scan_e e
+  | Prefetch (arr, i) ->
+    if not (List.mem arr arrays) then fail "stage %s: prefetch of undeclared array %s" stage arr;
+    scan_e i
+  | Enq (q, e) ->
+    use_queue `Produce q;
+    scan_e e
+  | Enq_ctrl (q, _) -> use_queue `Produce q
+  | Enq_indexed (qs, sel, e) ->
+    Array.iter (use_queue `Produce) qs;
+    scan_e sel;
+    scan_e e
+  | If (_, c, t, f) ->
+    scan_e c;
+    List.iter (scan_stmt ~stage ~arrays ~use_queue ~loop_depth) t;
+    List.iter (scan_stmt ~stage ~arrays ~use_queue ~loop_depth) f
+  | While (_, c, body) ->
+    scan_e c;
+    List.iter (scan_stmt ~stage ~arrays ~use_queue ~loop_depth:(loop_depth + 1)) body
+  | For (_, _, lo, hi, body) ->
+    scan_e lo;
+    scan_e hi;
+    List.iter (scan_stmt ~stage ~arrays ~use_queue ~loop_depth:(loop_depth + 1)) body
+  | Break -> if loop_depth = 0 then fail "stage %s: break outside of a loop" stage
+  | Exit_loops _ | Barrier _ | Seq_marker _ -> ()
+
+(* Raises [Invalid] on:
+   - queue references to undeclared queues, arrays to undeclared arrays
+   - queues with more than one consumer (FIFO matching requires one reader)
+   - handlers installed on queues the stage never dequeues
+   - break outside loops
+   - RAs whose in/out queues coincide *)
+let check (p : pipeline) =
+  let declared = List.map (fun q -> q.q_id) p.p_queues in
+  let arrays = List.map (fun a -> a.a_name) p.p_arrays in
+  let uses = Hashtbl.create 16 in
+  let get_use q =
+    match Hashtbl.find_opt uses q with
+    | Some u -> u
+    | None ->
+      let u = { producers = []; consumers = [] } in
+      Hashtbl.replace uses q u;
+      u
+  in
+  let scan_unit name stmts =
+    let use_queue kind q =
+      if not (List.mem q declared) then fail "%s: undeclared queue q%d" name q;
+      let u = get_use q in
+      match kind with
+      | `Produce -> if not (List.mem name u.producers) then u.producers <- name :: u.producers
+      | `Consume -> if not (List.mem name u.consumers) then u.consumers <- name :: u.consumers
+    in
+    List.iter (scan_stmt ~stage:name ~arrays ~use_queue ~loop_depth:0) stmts
+  in
+  List.iter
+    (fun stg ->
+      scan_unit stg.s_name stg.s_body;
+      List.iter
+        (fun h ->
+          if not (List.mem h.h_queue declared) then
+            fail "stage %s: handler on undeclared queue q%d" stg.s_name h.h_queue;
+          (* Handler bodies run on the consumer thread; loop_depth 1 because
+             they fire inside the stage's dequeue loops. *)
+          let use_queue kind q =
+            if not (List.mem q declared) then fail "%s handler: undeclared queue q%d" stg.s_name q;
+            let u = get_use q in
+            match kind with
+            | `Produce ->
+              if not (List.mem stg.s_name u.producers) then u.producers <- stg.s_name :: u.producers
+            | `Consume ->
+              if not (List.mem stg.s_name u.consumers) then u.consumers <- stg.s_name :: u.consumers
+          in
+          List.iter (scan_stmt ~stage:stg.s_name ~arrays ~use_queue ~loop_depth:1) h.h_body)
+        stg.s_handlers)
+    p.p_stages;
+  List.iter
+    (fun ra ->
+      if ra.ra_in = ra.ra_out then fail "ra%d: input and output queue coincide" ra.ra_id;
+      if not (List.mem ra.ra_in declared) then fail "ra%d: undeclared input queue" ra.ra_id;
+      if not (List.mem ra.ra_out declared) then fail "ra%d: undeclared output queue" ra.ra_id;
+      if not (List.mem ra.ra_array arrays) then
+        fail "ra%d: undeclared array %s" ra.ra_id ra.ra_array;
+      let name = Printf.sprintf "ra%d" ra.ra_id in
+      let uin = get_use ra.ra_in in
+      uin.consumers <- name :: uin.consumers;
+      let uout = get_use ra.ra_out in
+      uout.producers <- name :: uout.producers)
+    p.p_ras;
+  Hashtbl.iter
+    (fun q u ->
+      match u.consumers with
+      | [] | [ _ ] -> ()
+      | cs -> fail "queue q%d has multiple consumers: %s" q (String.concat ", " cs))
+    uses;
+  (* Handlers must guard queues their own stage consumes. *)
+  List.iter
+    (fun stg ->
+      List.iter
+        (fun h ->
+          let u = get_use h.h_queue in
+          if not (List.mem stg.s_name u.consumers) then
+            fail "stage %s: handler on q%d, which the stage never dequeues"
+              stg.s_name h.h_queue)
+        stg.s_handlers)
+    p.p_stages

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Array Ast List Parser Phloem_ir Printf

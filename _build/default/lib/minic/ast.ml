@@ -1,0 +1,84 @@
+(* AST for minic, the C-like input language of Phloem. It covers what the
+   paper's kernels need: int/float scalars, 1-D restrict-qualified array
+   parameters, loops, conditionals, break, calls, and Phloem's pragma
+   annotations (Table II). *)
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tvoid
+  | Tarray of ty (* array-of-int / array-of-float parameter *)
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Blt | Ble | Bgt | Bge | Beq | Bne
+  | Band | Bor
+  | Bband | Bbor | Bbxor | Bshl | Bshr
+
+type unop = Uneg | Unot | Ucast_int | Ucast_float
+
+type expr =
+  | Eint of int
+  | Efloat of float
+  | Evar of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eindex of string * expr (* a[i] *)
+  | Ecall of string * expr list
+  | Epostincr of string (* x++ as an expression: yields the old value *)
+
+type lhs =
+  | Lvar of string
+  | Lindex of string * expr
+
+type pragma =
+  | Pphloem
+  | Pdecouple
+  | Preplicate of int
+  | Pdistribute
+  | Pcost of int
+
+type stmt =
+  | Sdecl of ty * string * expr option
+  | Sassign of lhs * expr
+  | Sop_assign of lhs * binop * expr (* x += e, a[i] -= e, ... *)
+  | Sincr of lhs (* x++; as a statement *)
+  | Sexpr of expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sbreak
+  | Sreturn of expr option
+  | Spragma of pragma
+
+type param = {
+  p_ty : ty;
+  p_name : string;
+  p_restrict : bool;
+}
+
+type func = {
+  f_name : string;
+  f_ret : ty;
+  f_params : param list;
+  f_body : stmt list;
+  f_pragmas : pragma list;
+}
+
+type extern_decl = {
+  x_name : string;
+  x_ret : ty;
+  x_params : ty list;
+  x_cost : int;
+}
+
+type program = {
+  funcs : func list;
+  externs : extern_decl list;
+}
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tvoid -> "void"
+  | Tarray t -> ty_to_string t ^ "*"

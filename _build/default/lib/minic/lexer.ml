@@ -1,0 +1,127 @@
+(* Hand-written lexer for minic. Produces a token list with line numbers for
+   error reporting. [#pragma ...] lines become single PRAGMA tokens. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string (* int float void if else while for break return extern restrict *)
+  | PUNCT of string (* operators and delimiters *)
+  | PRAGMA of string (* body of a #pragma line *)
+  | EOF
+
+type lexed = { tok : token; line : int }
+
+exception Error of string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let keywords =
+  [ "int"; "float"; "double"; "void"; "if"; "else"; "while"; "for"; "break";
+    "return"; "extern"; "restrict" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Longest-match punctuation, tried in order. *)
+let puncts =
+  [ "<<="; ">>="; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "+="; "-=";
+    "*="; "/="; "%="; "++"; "--"; "->"; "("; ")"; "{"; "}"; "["; "]"; ";"; ",";
+    "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "!"; "&"; "|"; "^"; "~"; "?"; ":"; "." ]
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then fail !line "unterminated comment"
+    end
+    else if c = '#' then begin
+      (* #pragma <body> to end of line *)
+      let start = !pos in
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      let prefix = "#pragma" in
+      if String.length text >= String.length prefix
+         && String.sub text 0 (String.length prefix) = prefix
+      then
+        emit (PRAGMA (String.trim (String.sub text (String.length prefix)
+                                     (String.length text - String.length prefix))))
+      else fail !line "unsupported preprocessor directive: %s" text
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      if !pos < n && src.[!pos] = '.' then begin
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+        emit (FLOAT (float_of_string (String.sub src start (!pos - start))))
+      end
+      else emit (INT (int_of_string (String.sub src start (!pos - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      if List.mem word keywords then
+        emit (KW (if word = "double" then "float" else word))
+      else emit (IDENT word)
+    end
+    else begin
+      let rec try_puncts = function
+        | [] -> fail !line "unexpected character %c" c
+        | p :: rest ->
+          let lp = String.length p in
+          if !pos + lp <= n && String.sub src !pos lp = p then begin
+            emit (PUNCT p);
+            pos := !pos + lp
+          end
+          else try_puncts rest
+      in
+      try_puncts puncts
+    end
+  done;
+  List.rev ({ tok = EOF; line = !line } :: !toks)
+
+let token_to_string = function
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> Printf.sprintf "'%s'" s
+  | PRAGMA s -> Printf.sprintf "#pragma %s" s
+  | EOF -> "<eof>"

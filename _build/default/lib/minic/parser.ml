@@ -1,0 +1,413 @@
+(* Recursive-descent parser for minic. Standard C expression precedence;
+   statements cover the subset the paper's kernels use. *)
+
+open Ast
+open Lexer
+
+exception Error of string
+
+type state = { mutable toks : lexed list }
+
+let fail st fmt =
+  let line = match st.toks with { line; _ } :: _ -> line | [] -> 0 in
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let peek st = match st.toks with { tok; _ } :: _ -> tok | [] -> EOF
+
+let peek2 st = match st.toks with _ :: { tok; _ } :: _ -> tok | _ -> EOF
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail st "expected %s, found %s" (token_to_string tok) (token_to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | IDENT s ->
+    advance st;
+    s
+  | t -> fail st "expected identifier, found %s" (token_to_string t)
+
+let parse_pragma_text st text =
+  let words =
+    String.split_on_char ' ' text |> List.concat_map (String.split_on_char '(')
+    |> List.concat_map (String.split_on_char ')')
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "phloem" ] -> Pphloem
+  | [ "decouple" ] -> Pdecouple
+  | "replicate" :: n :: _ -> (
+    match int_of_string_opt n with
+    | Some n -> Preplicate n
+    | None -> fail st "replicate expects a count, got %s" n)
+  | [ "distribute" ] | "distribute" :: _ -> Pdistribute
+  | "cost" :: n :: _ -> (
+    match int_of_string_opt n with
+    | Some n -> Pcost n
+    | None -> fail st "cost expects a count, got %s" n)
+  | _ -> fail st "unknown pragma: %s" text
+
+(* --- types --- *)
+
+let parse_base_ty st =
+  match peek st with
+  | KW "int" ->
+    advance st;
+    Tint
+  | KW "float" ->
+    advance st;
+    Tfloat
+  | KW "void" ->
+    advance st;
+    Tvoid
+  | t -> fail st "expected a type, found %s" (token_to_string t)
+
+(* --- expressions --- *)
+
+let binop_of_punct = function
+  | "+" -> Some Badd
+  | "-" -> Some Bsub
+  | "*" -> Some Bmul
+  | "/" -> Some Bdiv
+  | "%" -> Some Bmod
+  | "<" -> Some Blt
+  | "<=" -> Some Ble
+  | ">" -> Some Bgt
+  | ">=" -> Some Bge
+  | "==" -> Some Beq
+  | "!=" -> Some Bne
+  | "&&" -> Some Band
+  | "||" -> Some Bor
+  | "&" -> Some Bband
+  | "|" -> Some Bbor
+  | "^" -> Some Bbxor
+  | "<<" -> Some Bshl
+  | ">>" -> Some Bshr
+  | _ -> None
+
+(* precedence climbing; higher binds tighter *)
+let precedence = function
+  | Bmul | Bdiv | Bmod -> 10
+  | Badd | Bsub -> 9
+  | Bshl | Bshr -> 8
+  | Blt | Ble | Bgt | Bge -> 7
+  | Beq | Bne -> 6
+  | Bband -> 5
+  | Bbxor -> 4
+  | Bbor -> 3
+  | Band -> 2
+  | Bor -> 1
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | PUNCT p -> (
+      match binop_of_punct p with
+      | Some op when precedence op >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (precedence op + 1) in
+        lhs := Ebin (op, !lhs, rhs)
+      | Some _ | None -> continue := false)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | PUNCT "-" ->
+    advance st;
+    Eun (Uneg, parse_unary st)
+  | PUNCT "!" ->
+    advance st;
+    Eun (Unot, parse_unary st)
+  | PUNCT "(" when peek2 st = KW "int" || peek2 st = KW "float" -> (
+    advance st;
+    let ty = parse_base_ty st in
+    expect st (PUNCT ")");
+    let e = parse_unary st in
+    match ty with
+    | Tint -> Eun (Ucast_int, e)
+    | Tfloat -> Eun (Ucast_float, e)
+    | Tvoid | Tarray _ -> fail st "invalid cast")
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  match peek st with
+  | INT i ->
+    advance st;
+    Eint i
+  | FLOAT f ->
+    advance st;
+    Efloat f
+  | PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect st (PUNCT ")");
+    e
+  | IDENT name -> (
+    advance st;
+    match peek st with
+    | PUNCT "(" ->
+      advance st;
+      let args = ref [] in
+      if peek st <> PUNCT ")" then begin
+        args := [ parse_expr st ];
+        while peek st = PUNCT "," do
+          advance st;
+          args := parse_expr st :: !args
+        done
+      end;
+      expect st (PUNCT ")");
+      Ecall (name, List.rev !args)
+    | PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect st (PUNCT "]");
+      Eindex (name, idx)
+    | PUNCT "++" ->
+      advance st;
+      Epostincr name
+    | _ -> Evar name)
+  | t -> fail st "expected an expression, found %s" (token_to_string t)
+
+(* --- statements --- *)
+
+let op_of_compound = function
+  | "+=" -> Badd
+  | "-=" -> Bsub
+  | "*=" -> Bmul
+  | "/=" -> Bdiv
+  | "%=" -> Bmod
+  | p -> invalid_arg p
+
+let rec parse_stmt st : stmt =
+  match peek st with
+  | PUNCT "{" -> (
+    match parse_block st with
+    | [ s ] -> s
+    | ss -> Sif (Eint 1, ss, []) (* block as unconditional if; rare *))
+  | KW "if" ->
+    advance st;
+    expect st (PUNCT "(");
+    let c = parse_expr st in
+    expect st (PUNCT ")");
+    let t = parse_stmt_as_block st in
+    let f =
+      if peek st = KW "else" then begin
+        advance st;
+        parse_stmt_as_block st
+      end
+      else []
+    in
+    Sif (c, t, f)
+  | KW "while" ->
+    advance st;
+    expect st (PUNCT "(");
+    let c = parse_expr st in
+    expect st (PUNCT ")");
+    Swhile (c, parse_stmt_as_block st)
+  | KW "for" ->
+    advance st;
+    expect st (PUNCT "(");
+    let init =
+      match peek st with
+      | PUNCT ";" -> None
+      | KW ("int" | "float") ->
+        (* declaration initializer: for (int i = 0; ...) *)
+        let ty = parse_base_ty st in
+        let name = expect_ident st in
+        expect st (PUNCT "=");
+        Some (Sdecl (ty, name, Some (parse_expr st)))
+      | _ -> Some (parse_simple st)
+    in
+    expect st (PUNCT ";");
+    let cond = if peek st = PUNCT ";" then None else Some (parse_expr st) in
+    expect st (PUNCT ";");
+    let step = if peek st = PUNCT ")" then None else Some (parse_simple st) in
+    expect st (PUNCT ")");
+    Sfor (init, cond, step, parse_stmt_as_block st)
+  | KW "break" ->
+    advance st;
+    expect st (PUNCT ";");
+    Sbreak
+  | KW "return" ->
+    advance st;
+    if peek st = PUNCT ";" then begin
+      advance st;
+      Sreturn None
+    end
+    else begin
+      let e = parse_expr st in
+      expect st (PUNCT ";");
+      Sreturn (Some e)
+    end
+  | PRAGMA text ->
+    advance st;
+    Spragma (parse_pragma_text st text)
+  | KW ("int" | "float") ->
+    let ty = parse_base_ty st in
+    let name = expect_ident st in
+    let init =
+      if peek st = PUNCT "=" then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    expect st (PUNCT ";");
+    Sdecl (ty, name, init)
+  | _ ->
+    let s = parse_simple st in
+    expect st (PUNCT ";");
+    s
+
+and parse_stmt_as_block st : stmt list =
+  if peek st = PUNCT "{" then parse_block st else [ parse_stmt st ]
+
+and parse_block st : stmt list =
+  expect st (PUNCT "{");
+  let stmts = ref [] in
+  while peek st <> PUNCT "}" do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st (PUNCT "}");
+  List.rev !stmts
+
+(* assignment / expression statements (no trailing ';') *)
+and parse_simple st : stmt =
+  match peek st with
+  | IDENT name -> (
+    match peek2 st with
+    | PUNCT "=" ->
+      advance st;
+      advance st;
+      Sassign (Lvar name, parse_expr st)
+    | PUNCT (("+=" | "-=" | "*=" | "/=" | "%=") as p) ->
+      advance st;
+      advance st;
+      Sop_assign (Lvar name, op_of_compound p, parse_expr st)
+    | PUNCT "++" ->
+      advance st;
+      advance st;
+      Sincr (Lvar name)
+    | PUNCT "[" -> (
+      (* a[i] = ..., a[i] += ..., or expression statement *)
+      advance st;
+      advance st;
+      let idx = parse_expr st in
+      expect st (PUNCT "]");
+      match peek st with
+      | PUNCT "=" ->
+        advance st;
+        Sassign (Lindex (name, idx), parse_expr st)
+      | PUNCT (("+=" | "-=" | "*=" | "/=" | "%=") as p) ->
+        advance st;
+        Sop_assign (Lindex (name, idx), op_of_compound p, parse_expr st)
+      | PUNCT "++" ->
+        advance st;
+        Sincr (Lindex (name, idx))
+      | _ -> Sexpr (Eindex (name, idx)))
+    | _ -> Sexpr (parse_expr st))
+  | _ -> Sexpr (parse_expr st)
+
+(* --- top level --- *)
+
+let parse_param st =
+  let base = parse_base_ty st in
+  let is_ptr =
+    if peek st = PUNCT "*" then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let restrict =
+    if peek st = KW "restrict" then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let name = expect_ident st in
+  let is_arr =
+    if peek st = PUNCT "[" then begin
+      advance st;
+      expect st (PUNCT "]");
+      true
+    end
+    else false
+  in
+  let ty = if is_ptr || is_arr then Tarray base else base in
+  { p_ty = ty; p_name = name; p_restrict = restrict || not (is_ptr || is_arr) }
+
+let parse_program src : program =
+  let st = { toks = Lexer.tokenize src } in
+  let funcs = ref [] and externs = ref [] in
+  let pending_pragmas = ref [] in
+  let rec loop () =
+    match peek st with
+    | EOF -> ()
+    | PRAGMA text ->
+      advance st;
+      pending_pragmas := parse_pragma_text st text :: !pending_pragmas;
+      loop ()
+    | KW "extern" ->
+      advance st;
+      let ret = parse_base_ty st in
+      let name = expect_ident st in
+      expect st (PUNCT "(");
+      let ptys = ref [] in
+      if peek st <> PUNCT ")" then begin
+        let p = parse_param st in
+        ptys := [ p.p_ty ];
+        while peek st = PUNCT "," do
+          advance st;
+          let p = parse_param st in
+          ptys := p.p_ty :: !ptys
+        done
+      end;
+      expect st (PUNCT ")");
+      expect st (PUNCT ";");
+      let cost =
+        List.fold_left
+          (fun acc p -> match p with Pcost c -> c | _ -> acc)
+          10 !pending_pragmas
+      in
+      pending_pragmas := [];
+      externs := { x_name = name; x_ret = ret; x_params = List.rev !ptys; x_cost = cost } :: !externs;
+      loop ()
+    | KW ("int" | "float" | "void") ->
+      let ret = parse_base_ty st in
+      let name = expect_ident st in
+      expect st (PUNCT "(");
+      let params = ref [] in
+      if peek st <> PUNCT ")" then begin
+        params := [ parse_param st ];
+        while peek st = PUNCT "," do
+          advance st;
+          params := parse_param st :: !params
+        done
+      end;
+      expect st (PUNCT ")");
+      let body = parse_block st in
+      funcs :=
+        {
+          f_name = name;
+          f_ret = ret;
+          f_params = List.rev !params;
+          f_body = body;
+          f_pragmas = List.rev !pending_pragmas;
+        }
+        :: !funcs;
+      pending_pragmas := [];
+      loop ()
+    | t -> fail st "expected a declaration, found %s" (token_to_string t)
+  in
+  loop ();
+  { funcs = List.rev !funcs; externs = List.rev !externs }

@@ -1,0 +1,1 @@
+lib/pipette/cache.ml: Array Config Hashtbl

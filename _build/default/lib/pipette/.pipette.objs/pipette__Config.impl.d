@@ -1,0 +1,1 @@
+lib/pipette/config.ml: Printf

@@ -1,0 +1,1 @@
+lib/pipette/energy.ml: Cache Config Engine

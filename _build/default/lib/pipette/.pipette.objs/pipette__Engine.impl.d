@@ -1,0 +1,1 @@
+lib/pipette/engine.ml: Array Bytes Cache Config Hashtbl Heap List Phloem_ir Phloem_util Predictor Printf String Trace Types Vec

@@ -1,0 +1,1 @@
+lib/pipette/predictor.ml: Array

@@ -1,0 +1,1 @@
+lib/pipette/sim.ml: Array Config Energy Engine Interp List Phloem_ir Types Validate

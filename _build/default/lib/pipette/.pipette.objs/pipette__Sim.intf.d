@@ -1,0 +1,1 @@
+lib/pipette/sim.mli: Config Energy Engine Phloem_ir

@@ -1,0 +1,168 @@
+(* Cache hierarchy timing model: per-core L1 and L2, shared L3, and DRAM with
+   per-controller bandwidth occupancy. Set-associative with true-LRU ranking;
+   inclusive fills on miss. Prefetched lines carry an availability time so a
+   demand access shortly after a prefetch pays the remaining latency only. *)
+
+type level = {
+  sets : int;
+  ways : int;
+  latency : int;
+  tags : int array; (* set * ways; -1 = invalid *)
+  lru : int array; (* recency stamp per way *)
+  mutable stamp : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let make_level (p : Config.cache_params) ~line_bytes ~size_scale =
+  let bytes = p.size_kb * 1024 * size_scale in
+  let sets = max 1 (bytes / (line_bytes * p.ways)) in
+  {
+    sets;
+    ways = p.ways;
+    latency = p.latency;
+    tags = Array.make (sets * p.ways) (-1);
+    lru = Array.make (sets * p.ways) 0;
+    stamp = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+type dram = {
+  min_latency : int;
+  cycles_per_line : int;
+  next_free : int array; (* per controller *)
+  mutable accesses : int;
+}
+
+type t = {
+  line_shift : int;
+  l1s : level array; (* per core *)
+  l2s : level array; (* per core *)
+  l3 : level;
+  dram : dram;
+  inflight : (int, int) Hashtbl.t; (* line -> availability time *)
+}
+
+type access_result = { latency : int; level_hit : int (* 1..3, 4 = DRAM *) }
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+  go 0 n
+
+let create (cfg : Config.t) =
+  let mk p scale = make_level p ~line_bytes:cfg.line_bytes ~size_scale:scale in
+  {
+    line_shift = log2 cfg.line_bytes;
+    l1s = Array.init cfg.n_cores (fun _ -> mk cfg.l1 1);
+    l2s = Array.init cfg.n_cores (fun _ -> mk cfg.l2 1);
+    l3 = mk cfg.l3 cfg.n_cores;
+    dram =
+      {
+        min_latency = cfg.dram_latency;
+        cycles_per_line = cfg.dram_cycles_per_line;
+        next_free = Array.make cfg.dram_controllers 0;
+        accesses = 0;
+      };
+    inflight = Hashtbl.create 64;
+  }
+
+(* Lookup a line in a level; on hit, refresh LRU and return true. *)
+let lookup lvl line =
+  let set = line mod lvl.sets in
+  let base = set * lvl.ways in
+  let rec find w =
+    if w >= lvl.ways then None
+    else if lvl.tags.(base + w) = line then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+    lvl.stamp <- lvl.stamp + 1;
+    lvl.lru.(base + w) <- lvl.stamp;
+    lvl.hits <- lvl.hits + 1;
+    true
+  | None ->
+    lvl.misses <- lvl.misses + 1;
+    false
+
+(* Insert a line, evicting the LRU way. *)
+let insert lvl line =
+  let set = line mod lvl.sets in
+  let base = set * lvl.ways in
+  let victim = ref 0 in
+  for w = 1 to lvl.ways - 1 do
+    if lvl.lru.(base + w) < lvl.lru.(base + !victim) then victim := w
+  done;
+  lvl.stamp <- lvl.stamp + 1;
+  lvl.tags.(base + !victim) <- line;
+  lvl.lru.(base + !victim) <- lvl.stamp
+
+let dram_access d line ~now =
+  d.accesses <- d.accesses + 1;
+  let ctrl = line mod Array.length d.next_free in
+  let start = max now d.next_free.(ctrl) in
+  d.next_free.(ctrl) <- start + d.cycles_per_line;
+  start - now + d.min_latency
+
+(* A demand access from [core] at cycle [now]. Fills all levels on the way
+   back (inclusive). Returns the load-to-use latency. *)
+let access t ~core ~addr ~now =
+  let line = addr lsr t.line_shift in
+  let l1 = t.l1s.(core) and l2 = t.l2s.(core) in
+  let base_lat =
+    if lookup l1 line then { latency = l1.latency; level_hit = 1 }
+    else if lookup l2 line then begin
+      insert l1 line;
+      { latency = l2.latency; level_hit = 2 }
+    end
+    else if lookup t.l3 line then begin
+      insert l2 line;
+      insert l1 line;
+      { latency = t.l3.latency; level_hit = 3 }
+    end
+    else begin
+      let lat = dram_access t.dram line ~now in
+      insert t.l3 line;
+      insert l2 line;
+      insert l1 line;
+      { latency = max lat t.l3.latency; level_hit = 4 }
+    end
+  in
+  (* If the line is still in flight from a prefetch, wait for its arrival. *)
+  match Hashtbl.find_opt t.inflight line with
+  | Some avail when avail > now ->
+    { base_lat with latency = max base_lat.latency (avail - now) }
+  | Some _ ->
+    Hashtbl.remove t.inflight line;
+    base_lat
+  | None -> base_lat
+
+(* A software/compiler prefetch: brings the line in but records when it
+   actually arrives, so immediate demand accesses pay the residue. *)
+let prefetch t ~core ~addr ~now =
+  let line = addr lsr t.line_shift in
+  let r = access t ~core ~addr ~now in
+  if r.level_hit > 1 then Hashtbl.replace t.inflight line (now + r.latency)
+
+type counters = {
+  c_l1_hits : int;
+  c_l1_misses : int;
+  c_l2_hits : int;
+  c_l2_misses : int;
+  c_l3_hits : int;
+  c_l3_misses : int;
+  c_dram : int;
+}
+
+let counters t =
+  let sum f arr = Array.fold_left (fun acc l -> acc + f l) 0 arr in
+  {
+    c_l1_hits = sum (fun l -> l.hits) t.l1s;
+    c_l1_misses = sum (fun l -> l.misses) t.l1s;
+    c_l2_hits = sum (fun l -> l.hits) t.l2s;
+    c_l2_misses = sum (fun l -> l.misses) t.l2s;
+    c_l3_hits = t.l3.hits;
+    c_l3_misses = t.l3.misses;
+    c_dram = t.dram.accesses;
+  }

@@ -1,0 +1,106 @@
+(* Configuration of the simulated system (paper Table III), plus the
+   micro-architectural knobs of our timing model and the per-event energy
+   constants that replace McPAT/DDR3L in the original evaluation. *)
+
+type cache_params = {
+  size_kb : int;
+  ways : int;
+  latency : int; (* load-to-use, cycles *)
+}
+
+type t = {
+  n_cores : int;
+  smt_threads : int; (* hardware threads per core *)
+  freq_ghz : float;
+  issue_width : int; (* micro-ops issued per core per cycle *)
+  dispatch_width : int; (* per-thread front-end dispatch per cycle *)
+  rob_size : int; (* shared among a core's active threads *)
+  sched_scan : int; (* oldest unissued ops considered per thread per cycle *)
+  mem_ports : int; (* memory ops issued per core per cycle *)
+  mispredict_penalty : int; (* redirect cycles after branch resolution *)
+  line_bytes : int;
+  l1 : cache_params; (* per core *)
+  l2 : cache_params; (* per core *)
+  l3 : cache_params; (* shared; size_kb is per core and scaled by n_cores *)
+  dram_latency : int; (* minimum load-to-use *)
+  dram_controllers : int;
+  dram_cycles_per_line : int; (* occupancy per 64B transfer at 25 GB/s *)
+  max_queues : int;
+  queue_depth : int; (* elements per architectural queue *)
+  max_ras : int;
+  ra_mshrs : int; (* outstanding fetches per reference accelerator *)
+  predictor_entries : int;
+  predictor_history_bits : int;
+}
+
+(* Pipette's evaluation configuration (Table III): Skylake-like cores scaled
+   to 4 SMT threads; 16 queues of up to 24 elements; 4 RAs. *)
+let default =
+  {
+    n_cores = 1;
+    smt_threads = 4;
+    freq_ghz = 3.5;
+    issue_width = 6;
+    dispatch_width = 6;
+    rob_size = 224;
+    sched_scan = 16;
+    mem_ports = 3;
+    mispredict_penalty = 10;
+    line_bytes = 64;
+    l1 = { size_kb = 32; ways = 8; latency = 4 };
+    l2 = { size_kb = 256; ways = 8; latency = 12 };
+    l3 = { size_kb = 2048; ways = 16; latency = 40 };
+    dram_latency = 120;
+    dram_controllers = 2;
+    dram_cycles_per_line = 9; (* 64 B / 25 GB/s at 3.5 GHz *)
+    max_queues = 16;
+    queue_depth = 24;
+    max_ras = 4;
+    ra_mshrs = 8;
+    predictor_entries = 4096;
+    predictor_history_bits = 8;
+  }
+
+let four_cores = { default with n_cores = 4 }
+
+(* Per-event energy in nanojoules, standing in for McPAT at 22 nm and the
+   Micron DDR3L power model. Only relative magnitudes matter for Fig. 11. *)
+type energy_model = {
+  e_uop : float; (* core dynamic energy per issued micro-op *)
+  e_l1 : float;
+  e_l2 : float;
+  e_l3 : float;
+  e_dram : float;
+  e_queue_op : float; (* enq/deq through the register file *)
+  e_ra_op : float; (* RA control per element, excl. its cache accesses *)
+  e_static_core : float; (* leakage + clock per core per cycle *)
+}
+
+let default_energy =
+  {
+    e_uop = 0.15;
+    e_l1 = 0.05;
+    e_l2 = 0.25;
+    e_l3 = 1.0;
+    e_dram = 15.0;
+    e_queue_op = 0.03;
+    e_ra_op = 0.02;
+    e_static_core = 0.45;
+  }
+
+let table3_lines cfg =
+  [
+    Printf.sprintf
+      "Cores      | %d core(s), %.1f GHz, x86-64-like, %d-wide OOO issue; %d-thread SMT"
+      cfg.n_cores cfg.freq_ghz cfg.issue_width cfg.smt_threads;
+    Printf.sprintf "Pipette    | %d queues max; %d RAs; queues up to %d elements deep"
+      cfg.max_queues cfg.max_ras cfg.queue_depth;
+    Printf.sprintf "L1 cache   | %d KB/core, %d-way set-associative, %d cycle latency"
+      cfg.l1.size_kb cfg.l1.ways cfg.l1.latency;
+    Printf.sprintf "L2 cache   | %d KB/core, %d-way set-associative, %d cycle latency"
+      cfg.l2.size_kb cfg.l2.ways cfg.l2.latency;
+    Printf.sprintf "L3 cache   | %d MB/core, %d-way set-associative, %d cycle latency"
+      (cfg.l3.size_kb / 1024) cfg.l3.ways cfg.l3.latency;
+    Printf.sprintf "Main mem   | %d-cycle minimum latency, %d controllers, 25 GB/s each"
+      cfg.dram_latency cfg.dram_controllers;
+  ]

@@ -1,0 +1,32 @@
+(* Per-event energy accounting, replacing McPAT + DDR3L models (Fig. 11).
+   Energy = dynamic core (per issued micro-op) + memory hierarchy (per access
+   per level) + queue/RA traffic + static leakage over the run's cycles. *)
+
+type breakdown = {
+  e_core_dynamic : float; (* nJ *)
+  e_memory : float;
+  e_queues_ras : float;
+  e_static : float;
+}
+
+let total b = b.e_core_dynamic +. b.e_memory +. b.e_queues_ras +. b.e_static
+
+let of_result ?(model = Config.default_energy) (r : Engine.result) : breakdown =
+  let c = r.Engine.cache in
+  let l1_accesses = c.Cache.c_l1_hits + c.Cache.c_l1_misses in
+  let l2_accesses = c.Cache.c_l2_hits + c.Cache.c_l2_misses in
+  let l3_accesses = c.Cache.c_l3_hits + c.Cache.c_l3_misses in
+  {
+    e_core_dynamic = float_of_int r.Engine.instrs *. model.Config.e_uop;
+    e_memory =
+      (float_of_int l1_accesses *. model.Config.e_l1)
+      +. (float_of_int l2_accesses *. model.Config.e_l2)
+      +. (float_of_int l3_accesses *. model.Config.e_l3)
+      +. (float_of_int c.Cache.c_dram *. model.Config.e_dram);
+    e_queues_ras =
+      (float_of_int r.Engine.queue_ops *. model.Config.e_queue_op)
+      +. (float_of_int r.Engine.ra_fetches *. model.Config.e_ra_op);
+    e_static =
+      float_of_int (r.Engine.cycles * r.Engine.n_cores_used)
+      *. model.Config.e_static_core;
+  }

@@ -1,0 +1,659 @@
+(* Cycle-level timing replay of micro-op traces on the Pipette architecture.
+
+   Each pipeline stage is an SMT thread. Per cycle, a core dispatches ops
+   in program order into a shared instruction window (ROB), issues up to
+   [issue_width] ready ops across its threads (out of order within the
+   window, subject to data deps, memory ports, queue occupancy, and branch
+   redirects), and retires in order. Queue back-pressure, reference
+   accelerators, and barriers run alongside. Stall cycles are fast-forwarded
+   through an event heap, so memory-bound regions simulate quickly. *)
+
+open Phloem_util
+open Phloem_ir
+
+let unset = max_int
+
+type stall_class = Sc_issue | Sc_backend | Sc_queue | Sc_other
+
+type thread_state = {
+  th_id : int;
+  th_core : int;
+  (* trace columns *)
+  kind : int array;
+  pa : int array;
+  pb : int array;
+  dep1 : int array;
+  dep2 : int array;
+  dep3 : int array;
+  n_ops : int;
+  comp : int array; (* completion cycle per op; [unset] until issued *)
+  issued : Bytes.t;
+  link : int array; (* singly-linked list over dispatched, unissued ops *)
+  mutable unissued_head : int; (* -1 = none *)
+  mutable unissued_tail : int;
+  mutable dispatch_ptr : int;
+  mutable retire_ptr : int;
+  mutable blocked_branch : int; (* op index, or -1 *)
+  mutable done_ : bool;
+  mutable issued_this_cycle : int;
+  (* accounting *)
+  mutable cy_issue : int;
+  mutable cy_backend : int;
+  mutable cy_queue : int;
+  mutable cy_other : int;
+}
+
+type queue_state = {
+  qs_capacity : int;
+  arrived_at : Vec.Int_vec.t;
+      (* completion time of each arrival, in arrival (issue) order: FIFO
+         matching, which is what the hardware does — the functional
+         scheduler's interleaving on multi-producer queues need not be
+         replayable under bounded capacity *)
+  mutable deq_issued : int; (* consumer progress *)
+  mutable ra_consumed : int; (* RA-input progress *)
+  mutable occupancy : int;
+}
+
+type ra_state = {
+  ra_core : int;
+  ra_in_q : int;
+  ra_out_q : int;
+  rin_seq : int array;
+  rout_seq : int array;
+  raddr : int array;
+  rsize : int array;
+  rn : int;
+  fetch_done : int array;
+  mutable next_start : int;
+  mutable next_deliver : int;
+  mutable outstanding : int;
+  mutable fetches : int;
+}
+
+type result = {
+  cycles : int;
+  instrs : int;
+  issue_cycles : int; (* summed over threads *)
+  backend_cycles : int;
+  queue_cycles : int;
+  other_cycles : int;
+  cache : Cache.counters;
+  branch_lookups : int;
+  branch_mispredicts : int;
+  queue_ops : int;
+  ra_fetches : int;
+  n_threads : int;
+  n_cores_used : int;
+}
+
+exception Stuck of string
+
+let default_thread_core (cfg : Config.t) n_threads =
+  Array.init n_threads (fun i ->
+      let core = i / cfg.smt_threads in
+      if core >= cfg.n_cores then
+        invalid_arg
+          (Printf.sprintf
+             "engine: %d threads do not fit on %d cores x %d SMT threads"
+             n_threads cfg.n_cores cfg.smt_threads);
+      core)
+
+let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||])
+    (p : Types.pipeline) (trace : Trace.t) : result =
+  let n_threads = Array.length trace.Trace.threads in
+  let thread_core =
+    match thread_core with
+    | Some tc -> tc
+    | None -> default_thread_core cfg n_threads
+  in
+  let caches = Cache.create cfg in
+  let pred =
+    Predictor.create ~entries:cfg.predictor_entries
+      ~history_bits:cfg.predictor_history_bits ~n_threads
+  in
+  let events = Heap.create () in
+  let threads =
+    Array.mapi
+      (fun i (tt : Trace.thread_trace) ->
+        let n = Trace.length tt in
+        {
+          th_id = i;
+          th_core = thread_core.(i);
+          kind = Vec.Int_vec.to_array tt.Trace.kind;
+          pa = Vec.Int_vec.to_array tt.Trace.pa;
+          pb = Vec.Int_vec.to_array tt.Trace.pb;
+          dep1 = Vec.Int_vec.to_array tt.Trace.dep1;
+          dep2 = Vec.Int_vec.to_array tt.Trace.dep2;
+          dep3 = Vec.Int_vec.to_array tt.Trace.dep3;
+          n_ops = n;
+          comp = Array.make (max n 1) unset;
+          issued = Bytes.make (max n 1) '\000';
+          link = Array.make (max n 1) (-1);
+          unissued_head = -1;
+          unissued_tail = -1;
+          dispatch_ptr = 0;
+          retire_ptr = 0;
+          blocked_branch = -1;
+          done_ = n = 0;
+          issued_this_cycle = 0;
+          cy_issue = 0;
+          cy_backend = 0;
+          cy_queue = 0;
+          cy_other = 0;
+        })
+      trace.Trace.threads
+  in
+  (* Queue state: size each enq_done array by total enqueues seen. *)
+  let n_queues = trace.Trace.n_queues in
+  let enq_counts = Array.make (max n_queues 1) 0 in
+  Array.iter
+    (fun th ->
+      for i = 0 to th.n_ops - 1 do
+        if th.kind.(i) = Trace.op_enq then
+          enq_counts.(th.pa.(i)) <- max enq_counts.(th.pa.(i)) (th.pb.(i) + 1)
+      done)
+    threads;
+  Array.iter
+    (fun (rt : Trace.ra_trace) ->
+      (* RA deliveries count as enqueues into the out queue; their queue id
+         is recovered from the pipeline's RA configs below, so here we only
+         need sequence bounds, handled after ra_states are built. *)
+      ignore rt)
+    trace.Trace.ras;
+  let ra_cfgs = Array.of_list p.Types.p_ras in
+  Array.iteri
+    (fun r (rt : Trace.ra_trace) ->
+      let out_q = ra_cfgs.(r).Types.ra_out in
+      let n = Trace.ra_length rt in
+      for i = 0 to n - 1 do
+        let seq = Vec.Int_vec.get rt.Trace.rt_out_seq i in
+        enq_counts.(out_q) <- max enq_counts.(out_q) (seq + 1)
+      done)
+    trace.Trace.ras;
+  let cap_of q =
+    match List.find_opt (fun (d : Types.queue_decl) -> d.q_id = q) p.Types.p_queues with
+    | Some d -> d.q_capacity
+    | None -> cfg.queue_depth
+  in
+  let queues =
+    Array.init (max n_queues 1) (fun q ->
+        ignore enq_counts.(q);
+        {
+          qs_capacity = cap_of q;
+          arrived_at = Vec.Int_vec.create ~capacity:64 ();
+          deq_issued = 0;
+          ra_consumed = 0;
+          occupancy = 0;
+        })
+  in
+  let ras =
+    Array.mapi
+      (fun r (rt : Trace.ra_trace) ->
+        let n = Trace.ra_length rt in
+        {
+          ra_core = (if r < Array.length ra_core then ra_core.(r) else 0);
+          ra_in_q = ra_cfgs.(r).Types.ra_in;
+          ra_out_q = ra_cfgs.(r).Types.ra_out;
+          rin_seq = Vec.Int_vec.to_array rt.Trace.rt_in_seq;
+          rout_seq = Vec.Int_vec.to_array rt.Trace.rt_out_seq;
+          raddr = Vec.Int_vec.to_array rt.Trace.rt_addr;
+          rsize = Vec.Int_vec.to_array rt.Trace.rt_size;
+          rn = n;
+          fetch_done = Array.make (max n 1) unset;
+          next_start = 0;
+          next_deliver = 0;
+          outstanding = 0;
+          fetches = 0;
+        })
+      trace.Trace.ras
+  in
+  (* Barrier groups: (id, occurrence) -> pending arrivals and arrived ops. *)
+  let barrier_total = Hashtbl.create 8 in
+  Array.iter
+    (fun th ->
+      for i = 0 to th.n_ops - 1 do
+        if th.kind.(i) = Trace.op_barrier then begin
+          let key = (th.pa.(i), th.pb.(i)) in
+          let c = try Hashtbl.find barrier_total key with Not_found -> 0 in
+          Hashtbl.replace barrier_total key (c + 1)
+        end
+      done)
+    threads;
+  let barrier_arrived : (int * int, (thread_state * int) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  (* Core thread lists. *)
+  let cores = Array.make cfg.n_cores [] in
+  Array.iter (fun th -> cores.(th.th_core) <- th :: cores.(th.th_core)) threads;
+  let cores = Array.map (fun l -> Array.of_list (List.rev l)) cores in
+  let n_cores_used =
+    Array.fold_left (fun acc c -> if Array.length c > 0 then acc + 1 else acc) 0 cores
+  in
+  let queue_ops = ref 0 in
+  let now = ref 0 in
+  let progress = ref false in
+
+  let dep_met th d = d = Trace.no_dep || th.comp.(d) <= !now in
+  let deps_met th i = dep_met th th.dep1.(i) && dep_met th th.dep2.(i) && dep_met th th.dep3.(i) in
+
+  let push_unissued th i =
+    th.link.(i) <- -1;
+    if th.unissued_head = -1 then begin
+      th.unissued_head <- i;
+      th.unissued_tail <- i
+    end
+    else begin
+      th.link.(th.unissued_tail) <- i;
+      th.unissued_tail <- i
+    end
+  in
+
+  (* Window occupancy = dispatched but not retired. *)
+  let window_room th =
+    let active =
+      Array.fold_left (fun acc t -> if t.done_ then acc else acc + 1) 0
+        cores.(th.th_core)
+    in
+    let share = max 16 (cfg.rob_size / max 1 active) in
+    th.dispatch_ptr - th.retire_ptr < share
+  in
+
+  let retire th =
+    while
+      th.retire_ptr < th.dispatch_ptr
+      && th.comp.(th.retire_ptr) <> unset
+      && th.comp.(th.retire_ptr) <= !now
+    do
+      th.retire_ptr <- th.retire_ptr + 1;
+      progress := true
+    done;
+    if th.retire_ptr >= th.n_ops && not th.done_ then begin
+      th.done_ <- true;
+      progress := true
+    end
+  in
+
+  (* The front end is shared: a core's dispatch bandwidth is split across
+     its active threads each cycle (budget passed in by the caller). *)
+  let dispatch th budget =
+    if th.blocked_branch >= 0 then begin
+      let b = th.blocked_branch in
+      if th.comp.(b) <> unset && !now >= th.comp.(b) + cfg.mispredict_penalty then begin
+        th.blocked_branch <- -1;
+        progress := true
+      end
+    end;
+    if th.blocked_branch < 0 then begin
+      let continue = ref true in
+      while !continue && !budget > 0 && th.dispatch_ptr < th.n_ops && window_room th do
+        let i = th.dispatch_ptr in
+        th.dispatch_ptr <- i + 1;
+        push_unissued th i;
+        decr budget;
+        progress := true;
+        if th.kind.(i) = Trace.op_branch then begin
+          let correct =
+            Predictor.predict_update pred ~thread:th.th_id ~pc:th.pa.(i)
+              ~taken:(th.pb.(i) = 1)
+          in
+          if not correct then begin
+            th.blocked_branch <- i;
+            continue := false
+          end
+        end
+      done
+    end
+  in
+
+  (* Issue one op if it is ready; returns true if issued. *)
+  let try_issue th i ~mem_budget =
+    let k = th.kind.(i) in
+    let is_mem = k = Trace.op_load || k = Trace.op_store || k = Trace.op_atomic || k = Trace.op_prefetch in
+    if is_mem && !mem_budget <= 0 then false
+    else if not (deps_met th i) then false
+    else begin
+      let ok, latency =
+        if k = Trace.op_alu then (true, 1)
+        else if k = Trace.op_branch then (true, 1)
+        else if k = Trace.op_load then
+          let r = Cache.access caches ~core:th.th_core ~addr:th.pa.(i) ~now:!now in
+          (true, r.Cache.latency)
+        else if k = Trace.op_store then begin
+          ignore (Cache.access caches ~core:th.th_core ~addr:th.pa.(i) ~now:!now);
+          (true, 1) (* retires through the store buffer *)
+        end
+        else if k = Trace.op_atomic then
+          (* locked read-modify-write: pays the access plus serialization *)
+          let r = Cache.access caches ~core:th.th_core ~addr:th.pa.(i) ~now:!now in
+          (true, r.Cache.latency + 18)
+        else if k = Trace.op_prefetch then begin
+          Cache.prefetch caches ~core:th.th_core ~addr:th.pa.(i) ~now:!now;
+          (true, 1)
+        end
+        else if k = Trace.op_enq then begin
+          let q = queues.(th.pa.(i)) in
+          if q.occupancy >= q.qs_capacity then (false, 0)
+          else begin
+            q.occupancy <- q.occupancy + 1;
+            Vec.Int_vec.push q.arrived_at (!now + 1);
+            incr queue_ops;
+            (true, 1)
+          end
+        end
+        else if k = Trace.op_deq then begin
+          let q = queues.(th.pa.(i)) in
+          if
+            q.deq_issued < Vec.Int_vec.length q.arrived_at
+            && Vec.Int_vec.get q.arrived_at q.deq_issued <= !now
+          then begin
+            q.deq_issued <- q.deq_issued + 1;
+            q.occupancy <- q.occupancy - 1;
+            incr queue_ops;
+            (true, 1)
+          end
+          else (false, 0)
+        end
+        else if k = Trace.op_barrier then begin
+          let key = (th.pa.(i), th.pb.(i)) in
+          let arrived = try Hashtbl.find barrier_arrived key with Not_found -> [] in
+          let arrived = (th, i) :: arrived in
+          Hashtbl.replace barrier_arrived key arrived;
+          if List.length arrived = Hashtbl.find barrier_total key then begin
+            (* all threads resume after a fixed resynchronization penalty *)
+            let release = !now + 40 in
+            List.iter
+              (fun (th', i') ->
+                th'.comp.(i') <- release;
+                Heap.push events release)
+              arrived;
+            (* comp already set; mark latency 0 sentinel below *)
+            (true, -1)
+          end
+          else (true, -2) (* arrived; completion set when group completes *)
+        end
+        else (true, 1)
+      in
+      if not ok then false
+      else begin
+        if is_mem then decr mem_budget;
+        Bytes.set th.issued i '\001';
+        (match latency with
+        | -1 | -2 -> () (* barrier: comp handled above or pending *)
+        | l ->
+          th.comp.(i) <- !now + l;
+          Heap.push events (!now + l));
+        if k = Trace.op_branch && th.blocked_branch = i then
+          Heap.push events (th.comp.(i) + cfg.mispredict_penalty);
+        th.issued_this_cycle <- th.issued_this_cycle + 1;
+        progress := true;
+        true
+      end
+    end
+  in
+
+  let issue_core core_threads =
+    let nth = Array.length core_threads in
+    if nth > 0 then begin
+      let issue_budget = ref cfg.issue_width in
+      let mem_budget = ref cfg.mem_ports in
+      let start = !now mod nth in
+      (* Interleave threads round-robin, scanning each thread's oldest
+         unissued ops; stop when the issue budget is spent. *)
+      let made_progress = ref true in
+      let scanned = Array.make nth 0 in
+      while !made_progress && !issue_budget > 0 do
+        made_progress := false;
+        for off = 0 to nth - 1 do
+          let th = core_threads.((start + off) mod nth) in
+          if (not th.done_) && !issue_budget > 0 && scanned.((start + off) mod nth) < cfg.sched_scan
+          then begin
+            (* walk the unissued list, unlinking issued entries lazily *)
+            let prev = ref (-1) in
+            let node = ref th.unissued_head in
+            let steps = ref 0 in
+            let continue = ref true in
+            while !continue && !node >= 0 && !steps < 4 && !issue_budget > 0 do
+              let i = !node in
+              let next = th.link.(i) in
+              if Bytes.get th.issued i = '\001' then begin
+                (* already issued: unlink *)
+                if !prev < 0 then th.unissued_head <- next else th.link.(!prev) <- next;
+                if th.unissued_tail = i then th.unissued_tail <- !prev;
+                node := next
+              end
+              else begin
+                incr steps;
+                scanned.((start + off) mod nth) <- scanned.((start + off) mod nth) + 1;
+                if try_issue th i ~mem_budget then begin
+                  decr issue_budget;
+                  made_progress := true;
+                  (* unlink issued op *)
+                  if !prev < 0 then th.unissued_head <- next else th.link.(!prev) <- next;
+                  if th.unissued_tail = i then th.unissued_tail <- !prev;
+                  node := next
+                end
+                else begin
+                  prev := i;
+                  node := next
+                end
+              end
+            done;
+            ignore !continue
+          end
+        done
+      done
+    end
+  in
+
+  (* RA engines: deliver in order, start new fetches up to the MSHR limit. *)
+  let advance_ra ra =
+    (* deliveries *)
+    let continue = ref true in
+    while !continue && ra.next_deliver < ra.rn do
+      let i = ra.next_deliver in
+      if ra.rout_seq.(i) < 0 then begin
+        (* consume-only entry: no output to deliver *)
+        if ra.fetch_done.(i) <> unset && ra.fetch_done.(i) <= !now then begin
+          ra.next_deliver <- i + 1;
+          ra.outstanding <- ra.outstanding - 1;
+          progress := true
+        end
+        else continue := false
+      end
+      else begin
+        let out = queues.(ra.ra_out_q) in
+        if ra.fetch_done.(i) <> unset && ra.fetch_done.(i) <= !now
+           && out.occupancy < out.qs_capacity
+        then begin
+          out.occupancy <- out.occupancy + 1;
+          Vec.Int_vec.push out.arrived_at (!now + 1);
+          Heap.push events (!now + 1);
+          ra.next_deliver <- i + 1;
+          ra.outstanding <- ra.outstanding - 1;
+          progress := true
+        end
+        else continue := false
+      end
+    done;
+    (* starts *)
+    let continue = ref true in
+    while !continue && ra.next_start < ra.rn && ra.outstanding < cfg.ra_mshrs do
+      let i = ra.next_start in
+      let inq = queues.(ra.ra_in_q) in
+      let in_seq = ra.rin_seq.(i) in
+      (* several scan outputs share one input element; only the first
+         consumes it *)
+      let first_use = i = 0 || ra.rin_seq.(i - 1) <> in_seq in
+      let needed = if first_use then inq.ra_consumed + 1 else inq.ra_consumed in
+      let input_ready =
+        needed <= Vec.Int_vec.length inq.arrived_at
+        && (needed = 0 || Vec.Int_vec.get inq.arrived_at (needed - 1) <= !now)
+      in
+      if input_ready then begin
+        if first_use then begin
+          inq.ra_consumed <- inq.ra_consumed + 1;
+          inq.occupancy <- inq.occupancy - 1
+        end;
+        let lat =
+          if ra.raddr.(i) < 0 then 1
+          else begin
+            ra.fetches <- ra.fetches + 1;
+            (Cache.access caches ~core:ra.ra_core ~addr:ra.raddr.(i) ~now:!now)
+              .Cache.latency
+          end
+        in
+        ra.fetch_done.(i) <- !now + lat;
+        Heap.push events (!now + lat);
+        ra.outstanding <- ra.outstanding + 1;
+        ra.next_start <- i + 1;
+        progress := true
+      end
+      else continue := false
+    done
+  in
+
+  (* Stall classification for accounting. *)
+  let classify th : stall_class =
+    if th.issued_this_cycle > 0 then Sc_issue
+    else if th.blocked_branch >= 0 then Sc_other
+    else begin
+      (* find first unissued op *)
+      let rec first node =
+        if node < 0 then -1
+        else if Bytes.get th.issued node = '\000' then node
+        else first th.link.(node)
+      in
+      let i = first th.unissued_head in
+      if i < 0 then Sc_other (* window empty: frontend *)
+      else begin
+        let k = th.kind.(i) in
+        if k = Trace.op_enq then
+          let q = queues.(th.pa.(i)) in
+          if q.occupancy >= q.qs_capacity then Sc_queue else Sc_backend
+        else if k = Trace.op_deq then
+          let q = queues.(th.pa.(i)) in
+          if
+            q.deq_issued >= Vec.Int_vec.length q.arrived_at
+            || Vec.Int_vec.get q.arrived_at q.deq_issued > !now
+          then Sc_queue
+          else Sc_backend
+        else if k = Trace.op_barrier then Sc_queue
+        else begin
+          (* blocked on operands: attribute by the producer's kind *)
+          let dep_kind d acc =
+            if d <> Trace.no_dep && th.comp.(d) > !now then
+              let dk = th.kind.(d) in
+              if dk = Trace.op_load || dk = Trace.op_atomic then Sc_backend
+              else if dk = Trace.op_deq then Sc_queue
+              else acc
+            else acc
+          in
+          dep_kind th.dep1.(i) (dep_kind th.dep2.(i) (dep_kind th.dep3.(i) Sc_backend))
+        end
+      end
+    end
+  in
+  let account delta =
+    Array.iter
+      (fun th ->
+        if not th.done_ then
+          match classify th with
+          | Sc_issue -> th.cy_issue <- th.cy_issue + delta
+          | Sc_backend -> th.cy_backend <- th.cy_backend + delta
+          | Sc_queue -> th.cy_queue <- th.cy_queue + delta
+          | Sc_other -> th.cy_other <- th.cy_other + delta)
+      threads
+  in
+
+  let all_done () = Array.for_all (fun th -> th.done_) threads in
+  let guard = ref 0 in
+  let cycle_budget = 500_000_000 in
+  while not (all_done ()) do
+    if !now > cycle_budget then
+      raise (Stuck (Printf.sprintf "cycle budget exceeded at %d" !now));
+    progress := false;
+    Array.iter (fun th -> th.issued_this_cycle <- 0) threads;
+    Array.iter
+      (fun th -> if not th.done_ then retire th)
+      threads;
+    Array.iter
+      (fun core_threads ->
+        let nth = Array.length core_threads in
+        if nth > 0 then begin
+          let budget = ref cfg.dispatch_width in
+          let start = !now mod nth in
+          (* round-robin the shared front-end bandwidth, giving each live
+             thread a fair share plus any slack left by stalled threads *)
+          let share = max 1 (cfg.dispatch_width / max 1 nth) in
+          for off = 0 to nth - 1 do
+            let th = core_threads.((start + off) mod nth) in
+            if not th.done_ then begin
+              let slice = ref (min share !budget) in
+              let before = !slice in
+              dispatch th slice;
+              budget := !budget - (before - !slice)
+            end
+          done;
+          (* leftover bandwidth goes to the first thread that can use it *)
+          for off = 0 to nth - 1 do
+            let th = core_threads.((start + off) mod nth) in
+            if (not th.done_) && !budget > 0 then begin
+              let slice = ref !budget in
+              let before = !slice in
+              dispatch th slice;
+              budget := !budget - (before - !slice)
+            end
+          done
+        end)
+      cores;
+    Array.iter issue_core cores;
+    Array.iter advance_ra ras;
+    account 1;
+    if !progress then begin
+      incr now;
+      guard := 0
+    end
+    else begin
+      (* fast-forward to the next event *)
+      let rec next_event () =
+        if Heap.is_empty events then None
+        else
+          let t = Heap.pop events in
+          if t > !now then Some t else next_event ()
+      in
+      match next_event () with
+      | Some t ->
+        account (t - !now - 1);
+        now := t
+      | None ->
+        incr guard;
+        if !guard > 4 then begin
+          let states =
+            Array.to_list threads
+            |> List.filter (fun th -> not th.done_)
+            |> List.map (fun th ->
+                   Printf.sprintf "t%d@%d/%d" th.th_id th.retire_ptr th.n_ops)
+            |> String.concat " "
+          in
+          raise (Stuck (Printf.sprintf "no progress at cycle %d: %s" !now states))
+        end;
+        incr now
+    end
+  done;
+  let sum f = Array.fold_left (fun acc th -> acc + f th) 0 threads in
+  {
+    cycles = !now;
+    instrs = sum (fun th -> th.n_ops);
+    issue_cycles = sum (fun th -> th.cy_issue);
+    backend_cycles = sum (fun th -> th.cy_backend);
+    queue_cycles = sum (fun th -> th.cy_queue);
+    other_cycles = sum (fun th -> th.cy_other);
+    cache = Cache.counters caches;
+    branch_lookups = pred.Predictor.lookups;
+    branch_mispredicts = pred.Predictor.mispredicts;
+    queue_ops = !queue_ops;
+    ra_fetches = Array.fold_left (fun acc r -> acc + r.fetches) 0 ras;
+    n_threads;
+    n_cores_used;
+  }

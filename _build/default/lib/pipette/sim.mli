@@ -1,0 +1,31 @@
+(** One-call simulation façade: validate a pipeline, execute its functional
+    (Kahn-network) semantics, then replay the micro-op traces on the
+    cycle-level timing model. Every benchmark, example, and experiment goes
+    through this entry point. *)
+
+type run = {
+  sr_functional : Phloem_ir.Interp.result;
+      (** architectural results: final arrays, instruction counts, traces *)
+  sr_timing : Engine.result;  (** cycles, breakdowns, cache/branch counters *)
+  sr_energy : Energy.breakdown;
+}
+
+val cycles : run -> int
+val instrs : run -> int
+
+val ra_cores : Phloem_ir.Types.pipeline -> int array -> int array
+(** Reference-accelerator placement: each RA sits by the core of the stage
+    that consumes its output (chains follow the final consumer). *)
+
+val run :
+  ?cfg:Config.t ->
+  ?thread_core:int array ->
+  ?inputs:(string * Phloem_ir.Types.value array) list ->
+  Phloem_ir.Types.pipeline ->
+  run
+(** [run p] validates and simulates [p]. [inputs] binds array contents by
+    name (missing arrays are zero-initialized); [thread_core] maps stage
+    index to core (default: packed, [Config.smt_threads] per core).
+    @raise Phloem_ir.Validate.Invalid on malformed pipelines
+    @raise Phloem_ir.Interp.Runtime_error on execution errors
+    @raise Phloem_ir.Interp.Deadlock if the queue network deadlocks *)

@@ -1,0 +1,1 @@
+lib/sparse/gen.ml: Array Csr_matrix Phloem_util Prng

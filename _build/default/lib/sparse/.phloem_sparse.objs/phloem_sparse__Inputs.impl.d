@@ -1,0 +1,1 @@
+lib/sparse/inputs.ml: Csr_matrix Gen Lazy List Phloem_util Printf

@@ -1,0 +1,1 @@
+lib/sparse/kernels.ml: Array Csr_matrix

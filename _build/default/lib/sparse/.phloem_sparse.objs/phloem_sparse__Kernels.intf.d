@@ -1,0 +1,1 @@
+lib/sparse/kernels.mli: Csr_matrix

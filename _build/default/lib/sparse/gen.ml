@@ -1,0 +1,61 @@
+(* Synthetic sparse matrices matching Table V's average nnz/row profiles.
+   Values are quantized to multiples of 1/16 so float accumulations compare
+   exactly between reference and simulated kernels when evaluation order is
+   preserved. *)
+
+open Phloem_util
+
+let quantize x = float_of_int (int_of_float (x *. 16.0)) /. 16.0
+
+(* Uniform random sparsity with a target average nnz per row. *)
+let random ~rows ~cols ~nnz_per_row ~seed =
+  let rng = Prng.create seed in
+  let triples = ref [] in
+  for r = 0 to rows - 1 do
+    (* Vary row lengths to create the irregularity the paper relies on. *)
+    let len = max 1 (Prng.int rng (2 * nnz_per_row)) in
+    for _ = 1 to len do
+      let c = Prng.int rng cols in
+      triples := (r, c, quantize (Prng.float rng 2.0 -. 1.0)) :: !triples
+    done
+  done;
+  Csr_matrix.of_triples ~rows ~cols !triples
+
+(* Banded matrix (structural problems like pwtk/cant have clustered rows). *)
+let banded ~n ~bandwidth ~nnz_per_row ~seed =
+  let bandwidth = max 2 (min bandwidth (n / 2)) in
+  let rng = Prng.create seed in
+  let triples = ref [] in
+  for r = 0 to n - 1 do
+    let len = max 1 (nnz_per_row / 2 + Prng.int rng (max 1 nnz_per_row)) in
+    for _ = 1 to len do
+      let off = Prng.int rng (2 * bandwidth) - bandwidth in
+      let c = max 0 (min (n - 1) (r + off)) in
+      triples := (r, c, quantize (Prng.float rng 2.0 -. 1.0)) :: !triples
+    done
+  done;
+  Csr_matrix.of_triples ~rows:n ~cols:n !triples
+
+(* Power-law column popularity (graph-as-matrix inputs like amazon0312). *)
+let power_law ~rows ~cols ~nnz_per_row ~seed =
+  let rng = Prng.create seed in
+  let triples = ref [] in
+  for r = 0 to rows - 1 do
+    let len = max 1 (Prng.int rng (2 * nnz_per_row)) in
+    for _ = 1 to len do
+      (* square the uniform draw to skew toward low column ids *)
+      let u = Prng.float rng 1.0 in
+      let c = int_of_float (u *. u *. float_of_int cols) in
+      let c = min (cols - 1) c in
+      triples := (r, c, quantize (Prng.float rng 2.0 -. 1.0)) :: !triples
+    done
+  done;
+  Csr_matrix.of_triples ~rows ~cols !triples
+
+let dense_vector ~n ~seed =
+  let rng = Prng.create seed in
+  Array.init n (fun _ -> quantize (Prng.float rng 2.0 -. 1.0))
+
+let dense_matrix ~rows ~cols ~seed =
+  let rng = Prng.create seed in
+  Array.init rows (fun _ -> Array.init cols (fun _ -> quantize (Prng.float rng 2.0 -. 1.0)))

@@ -1,0 +1,81 @@
+(* Table V: input matrices. Synthetic counterparts with matching average
+   nnz/row, scaled down for simulation. *)
+
+type input = {
+  name : string;
+  domain : string;
+  kind : [ `Training | `Test ];
+  group : [ `Spmm | `Taco ];
+  substitute : string;
+  matrix : Csr_matrix.t Lazy.t;
+}
+
+let mk name domain kind group substitute gen =
+  { name; domain; kind; group; substitute; matrix = Lazy.from_fun gen }
+
+let sc scale base = max 16 (int_of_float (float_of_int base *. scale))
+
+let all ?(scale = 1.0) () =
+  let n = sc scale in
+  [
+    (* SpMM training *)
+    mk "email-Enron" "Training graph as matrix 1" `Training `Spmm "power-law, ~10 nnz/row"
+      (fun () -> Gen.power_law ~rows:(n 600) ~cols:(n 600) ~nnz_per_row:10 ~seed:201);
+    mk "wiki-Vote" "Training graph as matrix 2" `Training `Spmm "power-law, ~12 nnz/row"
+      (fun () -> Gen.power_law ~rows:(n 400) ~cols:(n 400) ~nnz_per_row:12 ~seed:202);
+    (* SpMM test *)
+    mk "p2p-Gnutella31" "File sharing" `Test `Spmm "uniform, ~2.4 nnz/row"
+      (fun () -> Gen.random ~rows:(n 1200) ~cols:(n 1200) ~nnz_per_row:2 ~seed:203);
+    mk "amazon0312" "Graph as matrix" `Test `Spmm "power-law, ~8 nnz/row"
+      (fun () -> Gen.power_law ~rows:(n 1600) ~cols:(n 1600) ~nnz_per_row:8 ~seed:204);
+    mk "cage12" "Gel electrophoresis" `Test `Spmm "banded, ~15.6 nnz/row"
+      (fun () -> Gen.banded ~n:(n 1000) ~bandwidth:200 ~nnz_per_row:15 ~seed:205);
+    mk "2cubes_sphere" "Electromagnetics" `Test `Spmm "banded, ~16.2 nnz/row"
+      (fun () -> Gen.banded ~n:(n 900) ~bandwidth:300 ~nnz_per_row:16 ~seed:206);
+    mk "rma10" "Fluid dynamics" `Test `Spmm "banded, ~49.7 nnz/row"
+      (fun () -> Gen.banded ~n:(n 500) ~bandwidth:150 ~nnz_per_row:49 ~seed:207);
+    (* Taco test (MTMul, Residual, SpMV, SDDMM) *)
+    mk "scircuit" "Circuit simulation" `Test `Taco "uniform, ~5.6 nnz/row"
+      (fun () -> Gen.random ~rows:(n 1700) ~cols:(n 1700) ~nnz_per_row:5 ~seed:208);
+    mk "mac_econ_fwd500" "Economics" `Test `Taco "uniform, ~6.2 nnz/row"
+      (fun () -> Gen.random ~rows:(n 2000) ~cols:(n 2000) ~nnz_per_row:6 ~seed:209);
+    mk "cop20k_A" "Particle physics" `Test `Taco "banded, ~21.7 nnz/row"
+      (fun () -> Gen.banded ~n:(n 1200) ~bandwidth:400 ~nnz_per_row:21 ~seed:210);
+    mk "pwtk" "Structural" `Test `Taco "banded, ~52.9 nnz/row"
+      (fun () -> Gen.banded ~n:(n 1100) ~bandwidth:120 ~nnz_per_row:52 ~seed:211);
+    mk "cant" "Cantilever" `Test `Taco "banded, ~64.2 nnz/row"
+      (fun () -> Gen.banded ~n:(n 600) ~bandwidth:100 ~nnz_per_row:64 ~seed:212);
+  ]
+
+let spmm_training ?scale () =
+  List.filter (fun i -> i.kind = `Training && i.group = `Spmm) (all ?scale ())
+
+let spmm_test ?scale () =
+  List.filter (fun i -> i.kind = `Test && i.group = `Spmm) (all ?scale ())
+
+let taco_test ?scale () =
+  List.filter (fun i -> i.kind = `Test && i.group = `Taco) (all ?scale ())
+
+let find ?scale name =
+  match List.find_opt (fun i -> i.name = name) (all ?scale ()) with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "unknown matrix input %s" name)
+
+let table5 ?scale () =
+  let t =
+    Phloem_util.Table.create
+      [ "Domain"; "Matrix"; "Size (n x n)"; "Avg nnz/row"; "Substitute" ]
+  in
+  List.iter
+    (fun i ->
+      let m = Lazy.force i.matrix in
+      Phloem_util.Table.add_row t
+        [
+          i.domain;
+          i.name;
+          string_of_int m.Csr_matrix.rows;
+          Phloem_util.Table.fmt_float ~decimals:1 (Csr_matrix.avg_nnz_row m);
+          i.substitute;
+        ])
+    (all ?scale ());
+  Phloem_util.Table.render t

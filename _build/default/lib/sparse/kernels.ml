@@ -1,0 +1,78 @@
+(* Reference sparse kernels (pure OCaml ground truth), evaluated exactly as
+   the simulated kernels do — same iteration order, so float results match
+   bit-for-bit. *)
+
+(* y = A x *)
+let spmv (a : Csr_matrix.t) (x : float array) =
+  let y = Array.make a.Csr_matrix.rows 0.0 in
+  for r = 0 to a.Csr_matrix.rows - 1 do
+    let acc = ref 0.0 in
+    for e = a.Csr_matrix.row_ptr.(r) to a.Csr_matrix.row_ptr.(r + 1) - 1 do
+      acc := !acc +. (a.Csr_matrix.vals.(e) *. x.(a.Csr_matrix.col_idx.(e)))
+    done;
+    y.(r) <- !acc
+  done;
+  y
+
+(* y = b - A x *)
+let residual (a : Csr_matrix.t) (x : float array) (b : float array) =
+  let ax = spmv a x in
+  Array.mapi (fun i bi -> bi -. ax.(i)) b
+
+(* y = alpha * A^T x + beta * z, computed with A^T precomputed in CSR (the
+   Taco-emitted kernel iterates the transposed matrix's rows). *)
+let mtmul (at : Csr_matrix.t) (x : float array) (z : float array) ~alpha ~beta =
+  let ax = spmv at x in
+  Array.mapi (fun i zi -> (alpha *. ax.(i)) +. (beta *. zi)) z
+
+(* Merge-intersection of two sorted index/value runs: the core of
+   inner-product SpMM. Returns the dot product over matching indices. *)
+let merge_intersect_dot ~idx1 ~val1 ~lo1 ~hi1 ~idx2 ~val2 ~lo2 ~hi2 =
+  let acc = ref 0.0 in
+  let i = ref lo1 and j = ref lo2 in
+  while !i < hi1 && !j < hi2 do
+    let c1 = idx1.(!i) and c2 = idx2.(!j) in
+    if c1 = c2 then begin
+      acc := !acc +. (val1.(!i) *. val2.(!j));
+      incr i;
+      incr j
+    end
+    else if c1 < c2 then incr i
+    else incr j
+  done;
+  !acc
+
+(* C = A * B with an inner-product (output-stationary) dataflow: element
+   C(i,j) is the merge-intersection dot of A's row i with B^T's row j.
+   Returns C as a dense row-major array (small test sizes only) plus the
+   nnz count of nonzero outputs. *)
+let spmm_inner (a : Csr_matrix.t) (bt : Csr_matrix.t) =
+  let rows = a.Csr_matrix.rows and cols = bt.Csr_matrix.rows in
+  let c = Array.make_matrix rows cols 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      c.(i).(j) <-
+        merge_intersect_dot ~idx1:a.Csr_matrix.col_idx ~val1:a.Csr_matrix.vals
+          ~lo1:a.Csr_matrix.row_ptr.(i) ~hi1:a.Csr_matrix.row_ptr.(i + 1)
+          ~idx2:bt.Csr_matrix.col_idx ~val2:bt.Csr_matrix.vals
+          ~lo2:bt.Csr_matrix.row_ptr.(j) ~hi2:bt.Csr_matrix.row_ptr.(j + 1)
+    done
+  done;
+  c
+
+(* A = B o (C D): sampled dense-dense matrix multiplication. B sparse;
+   C (rows x k) and D (k x cols) dense; the output has B's sparsity. *)
+let sddmm (b : Csr_matrix.t) (cm : float array array) (d : float array array) =
+  let k = Array.length cm.(0) in
+  let out_vals = Array.make (max b.Csr_matrix.nnz 1) 0.0 in
+  for r = 0 to b.Csr_matrix.rows - 1 do
+    for e = b.Csr_matrix.row_ptr.(r) to b.Csr_matrix.row_ptr.(r + 1) - 1 do
+      let c = b.Csr_matrix.col_idx.(e) in
+      let acc = ref 0.0 in
+      for kk = 0 to k - 1 do
+        acc := !acc +. (cm.(r).(kk) *. d.(kk).(c))
+      done;
+      out_vals.(e) <- b.Csr_matrix.vals.(e) *. !acc
+    done
+  done;
+  out_vals

@@ -1,0 +1,36 @@
+(** Reference sparse kernels (ground truth for the simulated versions).
+    All iterate in the same order as the generated/simulated code, so float
+    results match bit-for-bit. *)
+
+val spmv : Csr_matrix.t -> float array -> float array
+(** [spmv a x] is [y = A x]. *)
+
+val residual : Csr_matrix.t -> float array -> float array -> float array
+(** [residual a x b] is [y = b - A x]. *)
+
+val mtmul :
+  Csr_matrix.t -> float array -> float array -> alpha:float -> beta:float -> float array
+(** [mtmul at x z ~alpha ~beta] is [y = alpha * A^T x + beta * z], with the
+    transpose already materialized in [at] (as the Taco flow does). *)
+
+val merge_intersect_dot :
+  idx1:int array ->
+  val1:float array ->
+  lo1:int ->
+  hi1:int ->
+  idx2:int array ->
+  val2:float array ->
+  lo2:int ->
+  hi2:int ->
+  float
+(** Dot product of two sorted sparse runs over their matching indices — the
+    core of inner-product SpMM (and the site of the paper's negative
+    result for automatic decoupling). *)
+
+val spmm_inner : Csr_matrix.t -> Csr_matrix.t -> float array array
+(** [spmm_inner a bt] computes [C = A * B] with an output-stationary
+    dataflow, [bt] being [B^T] in CSR; returns C dense (test sizes only). *)
+
+val sddmm : Csr_matrix.t -> float array array -> float array array -> float array
+(** [sddmm b c d] evaluates [A = B ∘ (C D)]; returns the values array of A
+    over B's sparsity pattern. *)

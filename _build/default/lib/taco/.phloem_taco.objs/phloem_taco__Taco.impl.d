@@ -1,0 +1,1 @@
+lib/taco/taco.ml: Buffer List Printf Str String

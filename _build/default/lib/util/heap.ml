@@ -1,0 +1,59 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create () = { data = Array.make 64 0; len = 0 }
+let size h = h.len
+let is_empty h = h.len = 0
+
+let ensure h n =
+  if n > Array.length h.data then begin
+    let data = Array.make (2 * n) 0 in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end
+
+let push h x =
+  ensure h (h.len + 1);
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  h.data.(!i) <- x;
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if h.data.(parent) > h.data.(!i) then begin
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let min h = if h.len = 0 then invalid_arg "Heap.min" else h.data.(0)
+
+let pop h =
+  if h.len = 0 then invalid_arg "Heap.pop";
+  let top = h.data.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.data.(0) <- h.data.(h.len);
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && h.data.(l) < h.data.(!smallest) then smallest := l;
+      if r < h.len && h.data.(r) < h.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  top
+
+let clear h = h.len <- 0

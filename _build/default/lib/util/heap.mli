@@ -1,0 +1,16 @@
+(** Minimal binary min-heap over integer keys, used by the timing engine's
+    event queue (fast-forward over stall cycles). *)
+
+type t
+
+val create : unit -> t
+val size : t -> int
+val is_empty : t -> bool
+val push : t -> int -> unit
+val min : t -> int
+(** @raise Invalid_argument when empty. *)
+
+val pop : t -> int
+(** Removes and returns the minimum. @raise Invalid_argument when empty. *)
+
+val clear : t -> unit

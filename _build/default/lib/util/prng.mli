@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All synthetic inputs (graphs, matrices) are generated from explicit seeds
+    so every experiment is reproducible bit-for-bit. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. *)
+
+val copy : t -> t
+val next : t -> int
+(** [next t] is a uniformly distributed 62-bit non-negative int. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

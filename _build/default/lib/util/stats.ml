@@ -1,0 +1,34 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let gmean = function
+  | [] -> invalid_arg "Stats.gmean: empty"
+  | xs ->
+    let sum_logs =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.gmean: non-positive element";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (sum_logs /. float_of_int (List.length xs))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: xs -> List.fold_left (fun (lo, hi) y -> (min lo y, max hi y)) (x, x) xs
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | xs ->
+    if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    a.(max 0 (min (n - 1) idx))
+
+let stddev xs =
+  let m = mean xs in
+  let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+  sqrt var

@@ -1,0 +1,16 @@
+(** Small statistics helpers used by the evaluation harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean. @raise Invalid_argument on the empty list. *)
+
+val gmean : float list -> float
+(** Geometric mean (the paper reports gmean speedups).
+    @raise Invalid_argument on an empty list or non-positive element. *)
+
+val min_max : float list -> float * float
+(** @raise Invalid_argument on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank on the sorted list. *)
+
+val stddev : float list -> float

@@ -1,0 +1,42 @@
+type t = {
+  headers : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: row width mismatch";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 256 in
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.headers;
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "-+-";
+      Buffer.add_string buf (String.make w '-'))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x

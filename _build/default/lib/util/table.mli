@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Renders aligned columns with a header rule, in the style of the paper's
+    tables, e.g.:
+
+    {v
+    Benchmark | Serial | Phloem
+    ----------+--------+-------
+    BFS       |   1.00 |   4.70
+    v} *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header width. *)
+
+val render : t -> string
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper, default 2 decimals. *)

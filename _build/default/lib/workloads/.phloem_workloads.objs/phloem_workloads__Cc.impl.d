@@ -1,0 +1,1 @@
+lib/workloads/cc.ml: Array List Phloem_graph Phloem_ir Phloem_minic Printf Workload

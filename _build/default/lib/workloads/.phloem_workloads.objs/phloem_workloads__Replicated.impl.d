@@ -1,0 +1,1 @@
+lib/workloads/replicated.ml: Array List Phloem Phloem_graph Phloem_ir Prd Printf Radii Workload

@@ -1,0 +1,1 @@
+lib/workloads/spmm.ml: Array List Phloem_ir Phloem_minic Phloem_sparse Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/taco_kernels.ml: Array List Phloem_ir Phloem_minic Phloem_sparse Phloem_taco Printf String Workload

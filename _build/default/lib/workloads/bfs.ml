@@ -1,0 +1,273 @@
+(* Breadth-First Search (paper Sec. II, Fig. 2).
+   - serial: the paper's CSR BFS in minic, compiled by Phloem.
+   - data-parallel: level-synchronous with sliced fringes, atomic relaxations
+     and a compaction step (PBFS-flavored).
+   - manual: the hand-optimized Pipette pipeline — chained nodes/edges RAs,
+     a visit-neighbors thread that fetches old distances and forwards
+     (ngh, old_dist) pairs with inline control-value checks, and an update
+     thread that re-checks distances. *)
+
+open Phloem_ir.Types
+open Phloem_ir.Builder
+open Workload
+
+let serial_source =
+  "#pragma phloem\n\
+   void bfs(int n, int root, int *restrict nodes, int *restrict edges,\n\
+   \         int *restrict dist, int *restrict cur_fringe, int *restrict next_fringe,\n\
+   \         int *restrict out) {\n\
+   int cur_size = 1;\n\
+   int cur_dist = 0;\n\
+   cur_fringe[0] = root;\n\
+   dist[root] = 0;\n\
+   while (cur_size > 0) {\n\
+   int next_size = 0;\n\
+   cur_dist = cur_dist + 1;\n\
+   for (int i = 0; i < cur_size; i++) {\n\
+   int v = cur_fringe[i];\n\
+   int edge_start = nodes[v];\n\
+   int edge_end = nodes[v + 1];\n\
+   for (int e = edge_start; e < edge_end; e++) {\n\
+   int ngh = edges[e];\n\
+   int old_dist = dist[ngh];\n\
+   if (cur_dist < old_dist) {\n\
+   dist[ngh] = cur_dist;\n\
+   next_fringe[next_size++] = ngh;\n\
+   }\n\
+   }\n\
+   }\n\
+   for (int i = 0; i < next_size; i++) { cur_fringe[i] = next_fringe[i]; }\n\
+   cur_size = next_size;\n\
+   }\n\
+   out[0] = cur_dist;\n\
+   }"
+
+let base_arrays (g : Phloem_graph.Csr.t) ~root =
+  let n = g.Phloem_graph.Csr.n in
+  ignore root;
+  let dist = Array.make n Phloem_graph.Algos.int_max in
+  [
+    ("nodes", vint g.Phloem_graph.Csr.offsets);
+    ("edges", vint g.Phloem_graph.Csr.edges);
+    ("dist", vint dist);
+    ("cur_fringe", vint (Array.make n 0));
+    ("next_fringe", vint (Array.make n 0));
+    ("out", vint [| 0 |]);
+  ]
+
+let serial (g : Phloem_graph.Csr.t) ~root =
+  let lw = Phloem_minic.Lower.of_source serial_source in
+  Phloem_minic.Lower.to_serial_pipeline lw
+    ~arrays:(base_arrays g ~root)
+    ~scalars:[ ("n", Vint g.Phloem_graph.Csr.n); ("root", Vint root) ]
+
+(* --- data-parallel --- *)
+
+let data_parallel (g : Phloem_graph.Csr.t) ~root ~threads =
+  let n = g.Phloem_graph.Csr.n in
+  let thread t =
+    let init =
+      if t = 0 then
+        [ store "shared" (int 0) (int 1); store "cur_fringe" (int 0) (v "root");
+          store "dist" (v "root") (int 0) ]
+      else []
+    in
+    let compact =
+      if t = 0 then
+        [
+          "total" <-- int 0;
+          for_ "tt" (int 0) (int threads)
+            [
+              "c" <-- load "counts" (v "tt");
+              for_ "j" (int 0) (v "c")
+                [
+                  store "cur_fringe" (v "total")
+                    (load "next_fringe" ((v "tt" *! v "n") +! v "j"));
+                  "total" <-- (v "total" +! int 1);
+                ];
+            ];
+          store "shared" (int 0) (v "total");
+        ]
+      else []
+    in
+    stage
+      (Printf.sprintf "dp%d" t)
+      (init
+      @ [
+          "cur_dist" <-- int 0;
+          loop_forever
+            ([
+               barrier 201;
+               "cur_size" <-- load "shared" (int 0);
+               when_ (v "cur_size" ==! int 0) [ break_ ];
+               "cur_dist" <-- (v "cur_dist" +! int 1);
+               "lo" <-- (int t *! v "cur_size" /! int threads);
+               "hi" <-- ((int t +! int 1) *! v "cur_size" /! int threads);
+               "cnt" <-- int 0;
+               for_ "i" (v "lo") (v "hi")
+                 [
+                   "vx" <-- load "cur_fringe" (v "i");
+                   "es" <-- load "nodes" (v "vx");
+                   "ee" <-- load "nodes" (v "vx" +! int 1);
+                   for_ "e" (v "es") (v "ee")
+                     [
+                       "ngh" <-- load "edges" (v "e");
+                       "od" <-- load "dist" (v "ngh");
+                       when_ (v "cur_dist" <! v "od")
+                         [
+                           atomic_min "dist" (v "ngh") (v "cur_dist");
+                           store "next_fringe" ((int t *! v "n") +! v "cnt") (v "ngh");
+                           "cnt" <-- (v "cnt" +! int 1);
+                         ];
+                     ];
+                 ];
+               store "counts" (int t) (v "cnt");
+               barrier 202;
+             ]
+            @ compact);
+        ])
+  in
+  let n_arr = g.Phloem_graph.Csr.n in
+  let dist = Array.make n_arr Phloem_graph.Algos.int_max in
+  let p =
+    pipeline "bfs_dp"
+      ~arrays:
+        [
+          int_array "nodes" (n + 1);
+          int_array "edges" (max g.Phloem_graph.Csr.m 1);
+          int_array "dist" n;
+          int_array "cur_fringe" n;
+          int_array "next_fringe" (threads * n);
+          int_array "counts" threads;
+          int_array "shared" 1;
+        ]
+      ~params:[ ("n", Vint n); ("root", Vint root) ]
+      (List.init threads thread)
+  in
+  ( p,
+    [
+      ("nodes", vint g.Phloem_graph.Csr.offsets);
+      ("edges", vint g.Phloem_graph.Csr.edges);
+      ("dist", vint dist);
+    ] )
+
+(* --- manual Pipette pipeline --- *)
+
+let cv_end = 1
+
+let manual (g : Phloem_graph.Csr.t) ~root =
+  let n = g.Phloem_graph.Csr.n in
+  let s0 =
+    stage "process_fringe"
+      [
+        "cur_size" <-- int 1;
+        store "cur_fringe" (int 0) (v "root");
+        store "dist" (v "root") (int 0);
+        while_ (v "cur_size" >! int 0)
+          [
+            for_ "i" (int 0) (v "cur_size")
+              [
+                "vx" <-- load "cur_fringe" (v "i");
+                enq 0 (v "vx");
+                enq 0 (v "vx" +! int 1);
+              ];
+            enq_ctrl 0 cv_end;
+            "cur_size" <-- deq 5;
+          ];
+      ]
+  in
+  let s1 =
+    stage "visit_neighbors"
+      [
+        "cur_size" <-- int 1;
+        while_ (v "cur_size" >! int 0)
+          [
+            loop_forever
+              [
+                "x" <-- deq 2;
+                if_ (is_control (v "x"))
+                  [ enq_ctrl 3 cv_end; break_ ]
+                  [
+                    "od" <-- load "dist" (v "x");
+                    enq 3 (v "x");
+                    enq 3 (v "od");
+                  ];
+              ];
+            "cur_size" <-- deq 6;
+          ];
+      ]
+  in
+  let s2 =
+    stage "update"
+      [
+        "cur_size" <-- int 1;
+        "cur_dist" <-- int 0;
+        while_ (v "cur_size" >! int 0)
+          [
+            "next_size" <-- int 0;
+            "cur_dist" <-- (v "cur_dist" +! int 1);
+            loop_forever
+              [
+                "x" <-- deq 3;
+                when_ (is_control (v "x")) [ break_ ];
+                "oh" <-- deq 3;
+                when_ (v "cur_dist" <! v "oh")
+                  [
+                    "od2" <-- load "dist" (v "x");
+                    when_ (v "cur_dist" <! v "od2")
+                      [
+                        store "dist" (v "x") (v "cur_dist");
+                        store "next_fringe" (v "next_size") (v "x");
+                        "next_size" <-- (v "next_size" +! int 1);
+                      ];
+                  ];
+              ];
+            for_ "i" (int 0) (v "next_size")
+              [ store "cur_fringe" (v "i") (load "next_fringe" (v "i")) ];
+            "cur_size" <-- v "next_size";
+            enq 5 (v "cur_size");
+            enq 6 (v "cur_size");
+          ];
+        store "out" (int 0) (v "cur_dist");
+      ]
+  in
+  let p =
+    pipeline "bfs_manual"
+      ~arrays:
+        [
+          int_array "nodes" (n + 1);
+          int_array "edges" (max g.Phloem_graph.Csr.m 1);
+          int_array "dist" n;
+          int_array "cur_fringe" n;
+          int_array "next_fringe" n;
+          int_array "out" 1;
+        ]
+      ~params:[ ("root", Vint root) ]
+      ~queues:[ queue 0; queue 1; queue 2; queue 3; queue 5; queue 6 ]
+      ~ras:
+        [
+          ra ~id:0 ~in_q:0 ~out_q:1 ~array:"nodes" ~mode:Ra_indirect;
+          ra ~id:1 ~in_q:1 ~out_q:2 ~array:"edges" ~mode:Ra_scan;
+        ]
+      [ s0; s1; s2 ]
+  in
+  let dist = Array.make n Phloem_graph.Algos.int_max in
+  ( p,
+    [
+      ("nodes", vint g.Phloem_graph.Csr.offsets);
+      ("edges", vint g.Phloem_graph.Csr.edges);
+      ("dist", vint dist);
+    ] )
+
+let bind (g : Phloem_graph.Csr.t) : bound =
+  let root = 0 in
+  let reference = Phloem_graph.Algos.bfs g ~root in
+  {
+    b_name = "BFS";
+    b_serial = serial g ~root;
+    b_data_parallel = (fun ~threads -> data_parallel g ~root ~threads);
+    b_manual = Some (manual g ~root);
+    b_check_arrays = [ "dist" ];
+    b_reference = [ ("dist", vint reference) ];
+    b_float_tolerance = 0.0;
+  }

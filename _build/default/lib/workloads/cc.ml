@@ -1,0 +1,266 @@
+(* Connected Components: label-propagation searches until every vertex holds
+   the minimum vertex id of its component (derived from Ligra's CC). The
+   loop skeleton matches BFS with one extra indirection (the source label),
+   so Phloem finds the same kind of pipeline. *)
+
+open Phloem_ir.Types
+open Phloem_ir.Builder
+open Workload
+
+let serial_source =
+  "#pragma phloem\n\
+   void cc(int n, int *restrict nodes, int *restrict edges, int *restrict labels,\n\
+   \        int *restrict cur_fringe, int *restrict next_fringe, int *restrict out) {\n\
+   int cur_size = n;\n\
+   int rounds = 0;\n\
+   while (cur_size > 0) {\n\
+   int next_size = 0;\n\
+   rounds = rounds + 1;\n\
+   for (int i = 0; i < cur_size; i++) {\n\
+   int v = cur_fringe[i];\n\
+   int lv = labels[v];\n\
+   int edge_start = nodes[v];\n\
+   int edge_end = nodes[v + 1];\n\
+   for (int e = edge_start; e < edge_end; e++) {\n\
+   int ngh = edges[e];\n\
+   int lngh = labels[ngh];\n\
+   if (lv < lngh) {\n\
+   labels[ngh] = lv;\n\
+   next_fringe[next_size++] = ngh;\n\
+   }\n\
+   }\n\
+   }\n\
+   for (int i = 0; i < next_size; i++) { cur_fringe[i] = next_fringe[i]; }\n\
+   cur_size = next_size;\n\
+   }\n\
+   out[0] = rounds;\n\
+   }"
+
+(* Fringes are sized n+m: a vertex re-enters the fringe once per improving
+   update, which is bounded by the edge count per round. *)
+let fringe_size (g : Phloem_graph.Csr.t) = g.Phloem_graph.Csr.n + g.Phloem_graph.Csr.m
+
+let base_arrays (g : Phloem_graph.Csr.t) =
+  let n = g.Phloem_graph.Csr.n in
+  let fs = fringe_size g in
+  [
+    ("nodes", vint g.Phloem_graph.Csr.offsets);
+    ("edges", vint g.Phloem_graph.Csr.edges);
+    ("labels", vint (Array.init n (fun i -> i)));
+    ("cur_fringe", vint (Array.init fs (fun i -> if i < n then i else 0)));
+    ("next_fringe", vint (Array.make fs 0));
+    ("out", vint [| 0 |]);
+  ]
+
+let serial (g : Phloem_graph.Csr.t) =
+  let lw = Phloem_minic.Lower.of_source serial_source in
+  Phloem_minic.Lower.to_serial_pipeline lw ~arrays:(base_arrays g)
+    ~scalars:[ ("n", Vint g.Phloem_graph.Csr.n) ]
+
+(* Data-parallel label propagation: sliced fringe, atomic_min on labels,
+   per-thread output sections, leader compaction. Because a vertex can be
+   appended by several threads in one round, next_fringe sections are sized
+   n per thread and duplicates merely cause re-checks. *)
+let data_parallel (g : Phloem_graph.Csr.t) ~threads =
+  let n = g.Phloem_graph.Csr.n in
+  let thread t =
+    let init =
+      if t = 0 then [ store "shared" (int 0) (v "n") ] else []
+    in
+    let compact =
+      if t = 0 then
+        [
+          "total" <-- int 0;
+          for_ "tt" (int 0) (int threads)
+            [
+              "c" <-- load "counts" (v "tt");
+              for_ "j" (int 0) (v "c")
+                [
+                  store "cur_fringe" (v "total")
+                    (load "next_fringe" ((v "tt" *! v "fs") +! v "j"));
+                  "total" <-- (v "total" +! int 1);
+                ];
+            ];
+          store "shared" (int 0) (v "total");
+        ]
+      else []
+    in
+    stage
+      (Printf.sprintf "dp%d" t)
+      (init
+      @ [
+          loop_forever
+            ([
+               barrier 211;
+               "cur_size" <-- load "shared" (int 0);
+               when_ (v "cur_size" ==! int 0) [ break_ ];
+               "lo" <-- (int t *! v "cur_size" /! int threads);
+               "hi" <-- ((int t +! int 1) *! v "cur_size" /! int threads);
+               "cnt" <-- int 0;
+               for_ "i" (v "lo") (v "hi")
+                 [
+                   "vx" <-- load "cur_fringe" (v "i");
+                   "lv" <-- load "labels" (v "vx");
+                   "es" <-- load "nodes" (v "vx");
+                   "ee" <-- load "nodes" (v "vx" +! int 1);
+                   for_ "e" (v "es") (v "ee")
+                     [
+                       "ngh" <-- load "edges" (v "e");
+                       "lngh" <-- load "labels" (v "ngh");
+                       when_ (v "lv" <! v "lngh")
+                         [
+                           atomic_min "labels" (v "ngh") (v "lv");
+                           store "next_fringe" ((int t *! v "fs") +! v "cnt") (v "ngh");
+                           "cnt" <-- (v "cnt" +! int 1);
+                         ];
+                     ];
+                 ];
+               store "counts" (int t) (v "cnt");
+               barrier 212;
+             ]
+            @ compact);
+        ])
+  in
+  let p =
+    pipeline "cc_dp"
+      ~arrays:
+        [
+          int_array "nodes" (n + 1);
+          int_array "edges" (max g.Phloem_graph.Csr.m 1);
+          int_array "labels" n;
+          int_array "cur_fringe" (fringe_size g);
+          int_array "next_fringe" (threads * fringe_size g);
+          int_array "counts" threads;
+          int_array "shared" 1;
+        ]
+      ~params:[ ("n", Vint n); ("fs", Vint (fringe_size g)) ]
+      (List.init threads thread)
+  in
+  ( p,
+    [
+      ("nodes", vint g.Phloem_graph.Csr.offsets);
+      ("edges", vint g.Phloem_graph.Csr.edges);
+      ("labels", vint (Array.init n (fun i -> i)));
+      ( "cur_fringe",
+        vint (Array.init (fringe_size g) (fun i -> if i < n then i else 0)) );
+    ] )
+
+(* Manual pipeline: like BFS's, but the source label rides along with the
+   neighbor through the queues (a 2-wide payload). *)
+let cv_end = 1
+
+let manual (g : Phloem_graph.Csr.t) =
+  let n = g.Phloem_graph.Csr.n in
+  (* The head stage sends the source label once per edge so the label and
+     neighbor streams stay aligned through the scan RA (as the hand-written
+     Pipette CC does); visit pre-filters with a possibly stale label and the
+     update stage re-checks before writing. *)
+  let s0 =
+    stage "process_fringe"
+      [
+        "cur_size" <-- v "n";
+        while_ (v "cur_size" >! int 0)
+          [
+            for_ "i" (int 0) (v "cur_size")
+              [
+                "vx" <-- load "cur_fringe" (v "i");
+                "lv" <-- load "labels" (v "vx");
+                "es" <-- load "nodes" (v "vx");
+                "ee" <-- load "nodes" (v "vx" +! int 1);
+                enq 1 (v "es");
+                enq 1 (v "ee");
+                for_ "e" (v "es") (v "ee") [ enq 4 (v "lv") ];
+              ];
+            enq_ctrl 1 cv_end;
+            "cur_size" <-- deq 5;
+          ];
+      ]
+  in
+  let s1 =
+    stage "visit_neighbors"
+      [
+        "cur_size" <-- v "n";
+        while_ (v "cur_size" >! int 0)
+          [
+            loop_forever
+              [
+                "x" <-- deq 2;
+                if_ (is_control (v "x"))
+                  [ enq_ctrl 3 cv_end; break_ ]
+                  [
+                    "lngh" <-- load "labels" (v "x");
+                    "lvv" <-- deq 4;
+                    when_ (v "lvv" <! v "lngh")
+                      [
+                        enq 3 (v "x");
+                        enq 3 (v "lvv");
+                      ];
+                  ];
+              ];
+            "cur_size" <-- deq 6;
+          ];
+      ]
+  in
+  let s2 =
+    stage "update"
+      ~handlers:[ handler ~queue:3 ~cv:"__c" [ exit_loops 1 ] ]
+      [
+        "cur_size" <-- v "n";
+        while_ (v "cur_size" >! int 0)
+          [
+            "next_size" <-- int 0;
+            loop_forever
+              [
+                "ngh" <-- deq 3;
+                "lvv" <-- deq 3;
+                "lngh" <-- load "labels" (v "ngh");
+                when_ (v "lvv" <! v "lngh")
+                  [
+                    store "labels" (v "ngh") (v "lvv");
+                    store "next_fringe" (v "next_size") (v "ngh");
+                    "next_size" <-- (v "next_size" +! int 1);
+                  ];
+              ];
+            for_ "i" (int 0) (v "next_size")
+              [ store "cur_fringe" (v "i") (load "next_fringe" (v "i")) ];
+            "cur_size" <-- v "next_size";
+            enq 5 (v "cur_size");
+            enq 6 (v "cur_size");
+          ];
+      ]
+  in
+  let p =
+    pipeline "cc_manual"
+      ~arrays:
+        [
+          int_array "nodes" (n + 1);
+          int_array "edges" (max g.Phloem_graph.Csr.m 1);
+          int_array "labels" n;
+          int_array "cur_fringe" (fringe_size g);
+          int_array "next_fringe" (fringe_size g);
+        ]
+      ~params:[ ("n", Vint n) ]
+      ~queues:[ queue 1; queue 2; queue 3; queue 4; queue 5; queue 6 ]
+      ~ras:[ ra ~id:0 ~in_q:1 ~out_q:2 ~array:"edges" ~mode:Ra_scan ]
+      [ s0; s1; s2 ]
+  in
+  ( p,
+    [
+      ("nodes", vint g.Phloem_graph.Csr.offsets);
+      ("edges", vint g.Phloem_graph.Csr.edges);
+      ("labels", vint (Array.init n (fun i -> i)));
+      ( "cur_fringe",
+        vint (Array.init (fringe_size g) (fun i -> if i < n then i else 0)) );
+    ] )
+
+let bind (g : Phloem_graph.Csr.t) : bound =
+  let reference = Phloem_graph.Algos.connected_components g in
+  {
+    b_name = "CC";
+    b_serial = serial g;
+    b_data_parallel = (fun ~threads -> data_parallel g ~threads);
+    b_manual = Some (manual g);
+    b_check_arrays = [ "labels" ];
+    b_reference = [ ("labels", vint reference) ];
+    b_float_tolerance = 0.0;
+  }

@@ -1,0 +1,273 @@
+(* PageRank-Delta (Ligra-derived): per round, active vertices scatter
+   delta/deg to their neighbors' sums (phase A); then every vertex applies
+   the damped sum, re-activating itself if the change exceeds the threshold
+   (phase B). The two phases touch ngh_sum from different pipeline stages,
+   so Phloem separates them with barriers (paper Sec. IV-A, program phases). *)
+
+open Phloem_ir.Types
+open Phloem_ir.Builder
+open Workload
+
+let damping = 0.85
+let eps = 0.01
+let iters = 4
+
+let serial_source =
+  "#pragma phloem\n\
+   void prd(int n, int iters, float damping, float eps,\n\
+   \         int *restrict nodes, int *restrict edges,\n\
+   \         float *restrict rank, float *restrict delta, float *restrict ngh_sum,\n\
+   \         int *restrict cur_fringe, int *restrict next_fringe, int *restrict out) {\n\
+   int cur_size = n;\n\
+   for (int it = 0; it < iters; it++) {\n\
+   for (int i = 0; i < cur_size; i++) {\n\
+   int v = cur_fringe[i];\n\
+   int edge_start = nodes[v];\n\
+   int edge_end = nodes[v + 1];\n\
+   int deg = edge_end - edge_start;\n\
+   if (deg > 0) {\n\
+   float contrib = delta[v] / (float) deg;\n\
+   for (int e = edge_start; e < edge_end; e++) {\n\
+   int ngh = edges[e];\n\
+   ngh_sum[ngh] = ngh_sum[ngh] + contrib;\n\
+   }\n\
+   }\n\
+   }\n\
+   int next_size = 0;\n\
+   for (int u = 0; u < n; u++) {\n\
+   float d2 = damping * ngh_sum[u];\n\
+   delta[u] = d2;\n\
+   ngh_sum[u] = 0.0;\n\
+   if (fabs(d2) > eps) {\n\
+   rank[u] = rank[u] + d2;\n\
+   next_fringe[next_size++] = u;\n\
+   }\n\
+   }\n\
+   for (int i = 0; i < next_size; i++) { cur_fringe[i] = next_fringe[i]; }\n\
+   cur_size = next_size;\n\
+   }\n\
+   out[0] = cur_size;\n\
+   }"
+
+let base_arrays (g : Phloem_graph.Csr.t) =
+  let n = g.Phloem_graph.Csr.n in
+  [
+    ("nodes", vint g.Phloem_graph.Csr.offsets);
+    ("edges", vint g.Phloem_graph.Csr.edges);
+    ("rank", vfloat (Array.make n ((1.0 -. damping) /. float_of_int n)));
+    ("delta", vfloat (Array.make n (1.0 /. float_of_int n)));
+    ("ngh_sum", vfloat (Array.make n 0.0));
+    ("cur_fringe", vint (Array.init n (fun i -> i)));
+    ("next_fringe", vint (Array.make n 0));
+    ("out", vint [| 0 |]);
+  ]
+
+let scalars (g : Phloem_graph.Csr.t) =
+  [
+    ("n", Vint g.Phloem_graph.Csr.n);
+    ("iters", Vint iters);
+    ("damping", Vfloat damping);
+    ("eps", Vfloat eps);
+  ]
+
+let serial (g : Phloem_graph.Csr.t) =
+  let lw = Phloem_minic.Lower.of_source serial_source in
+  Phloem_minic.Lower.to_serial_pipeline lw ~arrays:(base_arrays g) ~scalars:(scalars g)
+
+(* Data-parallel: phase A over fringe slices with atomic float adds; phase B
+   over vertex ranges; leader compaction between rounds. *)
+let data_parallel (g : Phloem_graph.Csr.t) ~threads =
+  let n = g.Phloem_graph.Csr.n in
+  let thread t =
+    let init = if t = 0 then [ store "shared" (int 0) (v "n") ] else [] in
+    let compact =
+      if t = 0 then
+        [
+          "total" <-- int 0;
+          for_ "tt" (int 0) (int threads)
+            [
+              "c" <-- load "counts" (v "tt");
+              for_ "j" (int 0) (v "c")
+                [
+                  store "cur_fringe" (v "total")
+                    (load "next_fringe" ((v "tt" *! v "n") +! v "j"));
+                  "total" <-- (v "total" +! int 1);
+                ];
+            ];
+          store "shared" (int 0) (v "total");
+        ]
+      else []
+    in
+    stage
+      (Printf.sprintf "dp%d" t)
+      (init
+      @ [
+          for_ "it" (int 0) (v "iters")
+            ([
+               barrier 221;
+               "cur_size" <-- load "shared" (int 0);
+               "lo" <-- (int t *! v "cur_size" /! int threads);
+               "hi" <-- ((int t +! int 1) *! v "cur_size" /! int threads);
+               for_ "i" (v "lo") (v "hi")
+                 [
+                   "vx" <-- load "cur_fringe" (v "i");
+                   "es" <-- load "nodes" (v "vx");
+                   "ee" <-- load "nodes" (v "vx" +! int 1);
+                   "deg" <-- (v "ee" -! v "es");
+                   when_ (v "deg" >! int 0)
+                     [
+                       "contrib" <-- (load "delta" (v "vx") /! to_float (v "deg"));
+                       for_ "e" (v "es") (v "ee")
+                         [ atomic_add "ngh_sum" (load "edges" (v "e")) (v "contrib") ];
+                     ];
+                 ];
+               barrier 222;
+               "ulo" <-- (int t *! v "n" /! int threads);
+               "uhi" <-- ((int t +! int 1) *! v "n" /! int threads);
+               "cnt" <-- int 0;
+               for_ "u" (v "ulo") (v "uhi")
+                 [
+                   "d2" <-- (v "damping" *! load "ngh_sum" (v "u"));
+                   store "delta" (v "u") (v "d2");
+                   store "ngh_sum" (v "u") (flt 0.0);
+                   when_ (fabs (v "d2") >! v "eps")
+                     [
+                       store "rank" (v "u") (load "rank" (v "u") +! v "d2");
+                       store "next_fringe" ((int t *! v "n") +! v "cnt") (v "u");
+                       "cnt" <-- (v "cnt" +! int 1);
+                     ];
+                 ];
+               store "counts" (int t) (v "cnt");
+               barrier 223;
+             ]
+            @ compact);
+        ])
+  in
+  let p =
+    pipeline "prd_dp"
+      ~arrays:
+        [
+          int_array "nodes" (n + 1);
+          int_array "edges" (max g.Phloem_graph.Csr.m 1);
+          float_array "rank" n;
+          float_array "delta" n;
+          float_array "ngh_sum" n;
+          int_array "cur_fringe" n;
+          int_array "next_fringe" (threads * n);
+          int_array "counts" threads;
+          int_array "shared" 1;
+        ]
+      ~params:(scalars g)
+      (List.init threads thread)
+  in
+  ( p,
+    List.filter
+      (fun (name, _) -> name <> "out" && name <> "next_fringe")
+      (base_arrays g) )
+
+(* Manual pipeline: 3 stages + scan RA. The middle stages are merged (the
+   transformation the paper notes Phloem does not do automatically), giving
+   the hand version its edge on PRD. *)
+let cv_end = 1
+
+let manual (g : Phloem_graph.Csr.t) =
+  let n = g.Phloem_graph.Csr.n in
+  let s1 =
+    stage "scatter_apply"
+      [
+        "cur_size" <-- v "n";
+        for_ "it" (int 0) (v "iters")
+          [
+            loop_forever
+              [
+                "x" <-- deq 1;
+                if_ (is_control (v "x"))
+                  [ break_ ]
+                  [
+                    "contrib" <-- deq 3;
+                    store "ngh_sum" (v "x") (load "ngh_sum" (v "x") +! v "contrib");
+                  ];
+              ];
+            barrier 231;
+            (* apply phase, merged into this stage *)
+            "next_size" <-- int 0;
+            for_ "u" (int 0) (v "n")
+              [
+                "d2" <-- (v "damping" *! load "ngh_sum" (v "u"));
+                store "delta" (v "u") (v "d2");
+                store "ngh_sum" (v "u") (flt 0.0);
+                when_ (fabs (v "d2") >! v "eps")
+                  [
+                    store "rank" (v "u") (load "rank" (v "u") +! v "d2");
+                    store "next_fringe" (v "next_size") (v "u");
+                    "next_size" <-- (v "next_size" +! int 1);
+                  ];
+              ];
+            for_ "i" (int 0) (v "next_size")
+              [ store "cur_fringe" (v "i") (load "next_fringe" (v "i")) ];
+            barrier 232;
+            enq 5 (v "next_size");
+          ];
+      ]
+  in
+  (* s0 must send one contrib per *neighbor* for the simple variant *)
+  let s0 =
+    stage "scatter_head"
+      [
+        "cur_size" <-- v "n";
+        for_ "it" (int 0) (v "iters")
+          [
+            for_ "i" (int 0) (v "cur_size")
+              [
+                "vx" <-- load "cur_fringe" (v "i");
+                "es" <-- load "nodes" (v "vx");
+                "ee" <-- load "nodes" (v "vx" +! int 1);
+                "deg" <-- (v "ee" -! v "es");
+                when_ (v "deg" >! int 0)
+                  [
+                    "contrib" <-- (load "delta" (v "vx") /! to_float (v "deg"));
+                    enq 0 (v "es");
+                    enq 0 (v "ee");
+                    for_ "e" (v "es") (v "ee") [ enq 3 (v "contrib") ];
+                  ];
+              ];
+            enq_ctrl 0 cv_end;
+            barrier 231;
+            barrier 232;
+            "cur_size" <-- deq 5;
+          ];
+      ]
+  in
+  let p =
+    pipeline "prd_manual"
+      ~arrays:
+        [
+          int_array "nodes" (n + 1);
+          int_array "edges" (max g.Phloem_graph.Csr.m 1);
+          float_array "rank" n;
+          float_array "delta" n;
+          float_array "ngh_sum" n;
+          int_array "cur_fringe" n;
+          int_array "next_fringe" n;
+        ]
+      ~params:(scalars g)
+      ~queues:[ queue 0; queue 1; queue 3; queue 5 ]
+      ~ras:[ ra ~id:0 ~in_q:0 ~out_q:1 ~array:"edges" ~mode:Ra_scan ]
+      [ s0; s1 ]
+  in
+  ( p,
+    List.filter
+      (fun (name, _) -> name <> "out" && name <> "next_fringe")
+      (base_arrays g) )
+
+let bind (g : Phloem_graph.Csr.t) : bound =
+  let reference = Phloem_graph.Algos.pagerank_delta g ~iters ~damping ~eps in
+  {
+    b_name = "PRD";
+    b_serial = serial g;
+    b_data_parallel = (fun ~threads -> data_parallel g ~threads);
+    b_manual = Some (manual g);
+    b_check_arrays = [ "rank" ];
+    b_reference = [ ("rank", vfloat reference) ];
+    b_float_tolerance = 1e-9;
+  }

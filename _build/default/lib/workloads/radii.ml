@@ -1,0 +1,297 @@
+(* Radii estimation: BFS from several sampled sources; radii.(v) is the
+   maximum distance observed from any source, and the estimate is the
+   overall maximum. The per-sample reset / search / fold phases are exactly
+   the multi-nest structure Phloem separates with barriers. *)
+
+open Phloem_ir.Types
+open Phloem_ir.Builder
+open Workload
+
+let samples = 4
+let seed = 1234
+
+let serial_source =
+  "#pragma phloem\n\
+   void radii(int n, int samples, int *restrict roots, int *restrict nodes,\n\
+   \           int *restrict edges, int *restrict dist, int *restrict radii,\n\
+   \           int *restrict cur_fringe, int *restrict next_fringe, int *restrict out) {\n\
+   int estimate = 0;\n\
+   for (int s = 0; s < samples; s++) {\n\
+   for (int i = 0; i < n; i++) { dist[i] = INT_MAX; }\n\
+   int root = roots[s];\n\
+   int cur_size = 1;\n\
+   int cur_dist = 0;\n\
+   cur_fringe[0] = root;\n\
+   dist[root] = 0;\n\
+   while (cur_size > 0) {\n\
+   int next_size = 0;\n\
+   cur_dist = cur_dist + 1;\n\
+   for (int i = 0; i < cur_size; i++) {\n\
+   int v = cur_fringe[i];\n\
+   int edge_start = nodes[v];\n\
+   int edge_end = nodes[v + 1];\n\
+   for (int e = edge_start; e < edge_end; e++) {\n\
+   int ngh = edges[e];\n\
+   int old_dist = dist[ngh];\n\
+   if (cur_dist < old_dist) {\n\
+   dist[ngh] = cur_dist;\n\
+   next_fringe[next_size++] = ngh;\n\
+   }\n\
+   }\n\
+   }\n\
+   for (int i = 0; i < next_size; i++) { cur_fringe[i] = next_fringe[i]; }\n\
+   cur_size = next_size;\n\
+   }\n\
+   for (int i = 0; i < n; i++) {\n\
+   int d = dist[i];\n\
+   if (d < INT_MAX) {\n\
+   if (d > radii[i]) { radii[i] = d; }\n\
+   if (d > estimate) { estimate = d; }\n\
+   }\n\
+   }\n\
+   }\n\
+   out[0] = estimate;\n\
+   }"
+
+let roots (g : Phloem_graph.Csr.t) = Phloem_graph.Algos.sample_roots g ~samples ~seed
+
+let base_arrays (g : Phloem_graph.Csr.t) =
+  let n = g.Phloem_graph.Csr.n in
+  [
+    ("roots", vint (roots g));
+    ("nodes", vint g.Phloem_graph.Csr.offsets);
+    ("edges", vint g.Phloem_graph.Csr.edges);
+    ("dist", vint (Array.make n 0));
+    ("radii", vint (Array.make n 0));
+    ("cur_fringe", vint (Array.make n 0));
+    ("next_fringe", vint (Array.make n 0));
+    ("out", vint [| 0 |]);
+  ]
+
+let scalars (g : Phloem_graph.Csr.t) =
+  [ ("n", Vint g.Phloem_graph.Csr.n); ("samples", Vint samples) ]
+
+let serial (g : Phloem_graph.Csr.t) =
+  let lw = Phloem_minic.Lower.of_source serial_source in
+  Phloem_minic.Lower.to_serial_pipeline lw ~arrays:(base_arrays g) ~scalars:(scalars g)
+
+(* Data-parallel: parallel BFS relaxations per sample (as in BFS's DP), with
+   the reset and fold loops range-partitioned. *)
+let data_parallel (g : Phloem_graph.Csr.t) ~threads =
+  let n = g.Phloem_graph.Csr.n in
+  let thread t =
+    let compact =
+      if t = 0 then
+        [
+          "total" <-- int 0;
+          for_ "tt" (int 0) (int threads)
+            [
+              "c" <-- load "counts" (v "tt");
+              for_ "j" (int 0) (v "c")
+                [
+                  store "cur_fringe" (v "total")
+                    (load "next_fringe" ((v "tt" *! v "n") +! v "j"));
+                  "total" <-- (v "total" +! int 1);
+                ];
+            ];
+          store "shared" (int 0) (v "total");
+        ]
+      else []
+    in
+    stage
+      (Printf.sprintf "dp%d" t)
+      [
+        "ulo" <-- (int t *! v "n" /! int threads);
+        "uhi" <-- ((int t +! int 1) *! v "n" /! int threads);
+        for_ "s" (int 0) (v "samples")
+          ([
+             for_ "i" (v "ulo") (v "uhi") [ store "dist" (v "i") (int 0x3FFFFFFF) ];
+             barrier 241;
+           ]
+          @ (if t = 0 then
+               [
+                 "root" <-- load "roots" (v "s");
+                 store "cur_fringe" (int 0) (v "root");
+                 store "dist" (v "root") (int 0);
+                 store "shared" (int 0) (int 1);
+               ]
+             else [])
+          @ [
+              "cur_dist" <-- int 0;
+              loop_forever
+                ([
+                   barrier 242;
+                   "cur_size" <-- load "shared" (int 0);
+                   when_ (v "cur_size" ==! int 0) [ break_ ];
+                   "cur_dist" <-- (v "cur_dist" +! int 1);
+                   "lo" <-- (int t *! v "cur_size" /! int threads);
+                   "hi" <-- ((int t +! int 1) *! v "cur_size" /! int threads);
+                   "cnt" <-- int 0;
+                   for_ "i" (v "lo") (v "hi")
+                     [
+                       "vx" <-- load "cur_fringe" (v "i");
+                       "es" <-- load "nodes" (v "vx");
+                       "ee" <-- load "nodes" (v "vx" +! int 1);
+                       for_ "e" (v "es") (v "ee")
+                         [
+                           "ngh" <-- load "edges" (v "e");
+                           "od" <-- load "dist" (v "ngh");
+                           when_ (v "cur_dist" <! v "od")
+                             [
+                               atomic_min "dist" (v "ngh") (v "cur_dist");
+                               store "next_fringe" ((int t *! v "n") +! v "cnt") (v "ngh");
+                               "cnt" <-- (v "cnt" +! int 1);
+                             ];
+                         ];
+                     ];
+                   store "counts" (int t) (v "cnt");
+                   barrier 243;
+                 ]
+                @ compact);
+              for_ "i" (v "ulo") (v "uhi")
+                [
+                  "d" <-- load "dist" (v "i");
+                  when_
+                    (v "d" <! int 0x3FFFFFFF &&! (v "d" >! load "radii" (v "i")))
+                    [ store "radii" (v "i") (v "d") ];
+                ];
+              barrier 244;
+            ]);
+      ]
+  in
+  let p =
+    pipeline "radii_dp"
+      ~arrays:
+        [
+          int_array "roots" samples;
+          int_array "nodes" (n + 1);
+          int_array "edges" (max g.Phloem_graph.Csr.m 1);
+          int_array "dist" n;
+          int_array "radii" n;
+          int_array "cur_fringe" n;
+          int_array "next_fringe" (threads * n);
+          int_array "counts" threads;
+          int_array "shared" 1;
+        ]
+      ~params:(scalars g)
+      (List.init threads thread)
+  in
+  ( p,
+    List.filter
+      (fun (name, _) -> name <> "out" && name <> "next_fringe")
+      (base_arrays g) )
+
+(* Manual pipeline: the hand-tuned version is a short 2-stage pipeline plus
+   the chained RAs, run once per sample (paper Sec. VII-B notes the 2-stage
+   organization is what the manual/replicated Radii uses). *)
+let cv_end = 1
+
+let manual (g : Phloem_graph.Csr.t) =
+  let n = g.Phloem_graph.Csr.n in
+  let s0 =
+    stage "head"
+      [
+        for_ "s" (int 0) (v "samples")
+          [
+            "root" <-- load "roots" (v "s");
+            store "cur_fringe" (int 0) (v "root");
+            "cur_size" <-- int 1;
+            while_ (v "cur_size" >! int 0)
+              [
+                for_ "i" (int 0) (v "cur_size")
+                  [
+                    "vx" <-- load "cur_fringe" (v "i");
+                    enq 0 (v "vx");
+                    enq 0 (v "vx" +! int 1);
+                  ];
+                enq_ctrl 0 cv_end;
+                "cur_size" <-- deq 4;
+              ];
+            barrier 251;
+          ];
+      ]
+  in
+  let s1 =
+    stage "update"
+      ~handlers:[ handler ~queue:2 ~cv:"__c" [ exit_loops 1 ] ]
+      [
+        "estimate" <-- int 0;
+        for_ "s" (int 0) (v "samples")
+          [
+            for_ "i" (int 0) (v "n") [ store "dist" (v "i") (int 0x3FFFFFFF) ];
+            "root" <-- load "roots" (v "s");
+            store "dist" (v "root") (int 0);
+            "cur_size" <-- int 1;
+            "cur_dist" <-- int 0;
+            while_ (v "cur_size" >! int 0)
+              [
+                "next_size" <-- int 0;
+                "cur_dist" <-- (v "cur_dist" +! int 1);
+                loop_forever
+                  [
+                    "ngh" <-- deq 2;
+                    "od" <-- load "dist" (v "ngh");
+                    when_ (v "cur_dist" <! v "od")
+                      [
+                        store "dist" (v "ngh") (v "cur_dist");
+                        store "next_fringe" (v "next_size") (v "ngh");
+                        "next_size" <-- (v "next_size" +! int 1);
+                      ];
+                  ];
+                for_ "i" (int 0) (v "next_size")
+                  [ store "cur_fringe" (v "i") (load "next_fringe" (v "i")) ];
+                "cur_size" <-- v "next_size";
+                enq 4 (v "cur_size");
+              ];
+            for_ "i" (int 0) (v "n")
+              [
+                "d" <-- load "dist" (v "i");
+                when_ (v "d" <! int 0x3FFFFFFF)
+                  [
+                    when_ (v "d" >! load "radii" (v "i")) [ store "radii" (v "i") (v "d") ];
+                    when_ (v "d" >! v "estimate") [ "estimate" <-- v "d" ];
+                  ];
+              ];
+            barrier 251;
+          ];
+        store "out" (int 0) (v "estimate");
+      ]
+  in
+  let p =
+    pipeline "radii_manual"
+      ~arrays:
+        [
+          int_array "roots" samples;
+          int_array "nodes" (n + 1);
+          int_array "edges" (max g.Phloem_graph.Csr.m 1);
+          int_array "dist" n;
+          int_array "radii" n;
+          int_array "cur_fringe" n;
+          int_array "next_fringe" n;
+          int_array "out" 1;
+        ]
+      ~params:(scalars g)
+      ~queues:[ queue 0; queue 1; queue 2; queue 4 ]
+      ~ras:
+        [
+          ra ~id:0 ~in_q:0 ~out_q:1 ~array:"nodes" ~mode:Ra_indirect;
+          ra ~id:1 ~in_q:1 ~out_q:2 ~array:"edges" ~mode:Ra_scan;
+        ]
+      [ s0; s1 ]
+  in
+  (p, base_arrays g)
+
+let bind (g : Phloem_graph.Csr.t) : bound =
+  let reference, estimate = Phloem_graph.Algos.radii_from_roots g ~roots:(roots g) in
+  {
+    b_name = "Radii";
+    b_serial = serial g;
+    b_data_parallel = (fun ~threads -> data_parallel g ~threads);
+    b_manual = Some (manual g);
+    b_check_arrays = [ "radii" ];
+    b_reference = [ ("radii", vint reference) ];
+    b_float_tolerance = 0.0;
+  }
+  |> fun b ->
+  ignore estimate;
+  b

@@ -1,0 +1,483 @@
+(* Replicated pipelines for the multicore evaluation (paper Sec. IV-C and
+   Fig. 14): the pipeline is cloned once per core, each replica working on a
+   slice of the fringe; [#pragma distribute] routes each neighbor to the
+   replica that owns it (low bits of the vertex id), so distance/label
+   updates are partitioned and need no synchronization. Rounds are closed
+   with barriers and a leader-computed global fringe size.
+
+   BFS and CC are built from a shared skeleton (they differ in the payload
+   and the update rule). Radii replicates the 2-stage manual pipeline with
+   private per-replica state via Replicate.apply (samples are partitioned).
+   PRD partitions the scatter phase and distributes neighbor-sum updates. *)
+
+open Phloem_ir.Types
+open Phloem_ir.Builder
+open Workload
+
+let cv_end = 1
+
+(* --- shared BFS/CC skeleton ---
+   Replica k (3 threads + 2 RAs):
+     head_k:   slice of the shared fringe -> (v, v+1) -> nodes RA -> edges RA
+     visit_k:  prefetch target data, route (ngh [, payload]) to owner replica
+     update_k: apply updates to its partition, append to its fringe section
+   Queue ids are replica-local: base + k*stride. *)
+
+type flavor = Bfs_flavor | Cc_flavor
+
+let graph_replicated flavor (g : Phloem_graph.Csr.t) ~replicas =
+  let n = g.Phloem_graph.Csr.n in
+  let stride = 8 in
+  let q k i = (k * stride) + i in
+  (* queues per replica: 0 ra_nodes_in, 1 ra chain, 2 ra_edges out, 3 update in *)
+  let head k =
+    let body_per_vertex =
+      match flavor with
+      | Bfs_flavor ->
+        [
+          "vx" <-- load "cur_fringe" (v "i");
+          enq (q k 0) (v "vx");
+          enq (q k 0) (v "vx" +! int 1);
+        ]
+      | Cc_flavor ->
+        [
+          "vx" <-- load "cur_fringe" (v "i");
+          "lv" <-- load "labels" (v "vx");
+          "es" <-- load "nodes" (v "vx");
+          "ee" <-- load "nodes" (v "vx" +! int 1);
+          enq (q k 1) (v "es");
+          enq (q k 1) (v "ee");
+          for_ "e" (v "es") (v "ee") [ enq (q k 4) (v "lv") ];
+        ]
+    in
+    let cv_q = match flavor with Bfs_flavor -> q k 0 | Cc_flavor -> q k 1 in
+    stage
+      (Printf.sprintf "head_r%d" k)
+      [
+        "rounds" <-- int 0;
+        loop_forever
+          [
+            barrier 301;
+            "cur_size" <-- load "shared" (int 0);
+            when_ (v "cur_size" ==! int 0) [ break_ ];
+            "rounds" <-- (v "rounds" +! int 1);
+            "lo" <-- (int k *! v "cur_size" /! int replicas);
+            "hi" <-- ((int k +! int 1) *! v "cur_size" /! int replicas);
+            for_ "i" (v "lo") (v "hi") body_per_vertex;
+            enq_ctrl cv_q cv_end;
+            barrier 302;
+          ];
+      ]
+  in
+  let visit k =
+    (* routes each neighbor to its owner replica's update queue *)
+    let owners = Array.init replicas (fun k' -> q k' 3) in
+    let route =
+      match flavor with
+      | Bfs_flavor ->
+        [
+          prefetch "dist" (v "x");
+          enq_indexed owners (v "x" %! int replicas) (v "x");
+        ]
+      | Cc_flavor ->
+        [
+          "lvv" <-- deq (q k 4);
+          prefetch "labels" (v "x");
+          enq_indexed owners (v "x" %! int replicas) ((v "x" *! v "n") +! v "lvv");
+        ]
+    in
+    stage
+      (Printf.sprintf "visit_r%d" k)
+      [
+        loop_forever
+          [
+            barrier 301;
+            "cur_size" <-- load "shared" (int 0);
+            when_ (v "cur_size" ==! int 0) [ break_ ];
+            loop_forever
+              [
+                "x" <-- deq (q k 2);
+                if_ (is_control (v "x"))
+                  (Array.to_list owners |> List.map (fun qd -> enq_ctrl qd cv_end)
+                  |> fun fan -> fan @ [ break_ ])
+                  route;
+              ];
+            barrier 302;
+          ];
+      ]
+  in
+  let update k =
+    (* one control value arrives per producer replica each round *)
+    let apply =
+      match flavor with
+      | Bfs_flavor ->
+        [
+          "od" <-- load "dist" (v "x");
+          when_ (v "rounds" <! v "od")
+            [
+              store "dist" (v "x") (v "rounds");
+              store "next_fringe" ((int k *! v "fs") +! v "cnt") (v "x");
+              "cnt" <-- (v "cnt" +! int 1);
+            ];
+        ]
+      | Cc_flavor ->
+        [
+          "lvv" <-- (v "x" %! v "n");
+          "x" <-- (v "x" /! v "n");
+          "lngh" <-- load "labels" (v "x");
+          when_ (v "lvv" <! v "lngh")
+            [
+              store "labels" (v "x") (v "lvv");
+              store "next_fringe" ((int k *! v "fs") +! v "cnt") (v "x");
+              "cnt" <-- (v "cnt" +! int 1);
+            ];
+        ]
+    in
+    let compact =
+      if k = 0 then
+        [
+          "total" <-- int 0;
+          for_ "tt" (int 0) (int replicas)
+            [
+              "c" <-- load "counts" (v "tt");
+              for_ "j" (int 0) (v "c")
+                [
+                  store "cur_fringe" (v "total")
+                    (load "next_fringe" ((v "tt" *! v "fs") +! v "j"));
+                  "total" <-- (v "total" +! int 1);
+                ];
+            ];
+          store "shared" (int 0) (v "total");
+        ]
+      else []
+    in
+    stage
+      (Printf.sprintf "update_r%d" k)
+      [
+        "rounds" <-- int 0;
+        loop_forever
+          ([
+             barrier 301;
+             "cur_size" <-- load "shared" (int 0);
+             when_ (v "cur_size" ==! int 0) [ break_ ];
+             "rounds" <-- (v "rounds" +! int 1);
+             "cnt" <-- int 0;
+             "cvs" <-- int 0;
+             loop_forever
+               [
+                 "x" <-- deq (q k 3);
+                 if_ (is_control (v "x"))
+                   [
+                     "cvs" <-- (v "cvs" +! int 1);
+                     when_ (v "cvs" ==! int replicas) [ break_ ];
+                   ]
+                   apply;
+               ];
+             store "counts" (int k) (v "cnt");
+             barrier 302;
+           ]
+          @ compact);
+      ]
+  in
+  let queues =
+    List.concat
+      (List.init replicas (fun k -> List.init stride (fun i -> queue (q k i))))
+  in
+  let ras =
+    List.concat
+      (List.init replicas (fun k ->
+           match flavor with
+           | Bfs_flavor ->
+             [
+               ra ~id:(2 * k) ~in_q:(q k 0) ~out_q:(q k 1) ~array:"nodes"
+                 ~mode:Ra_indirect;
+               ra ~id:((2 * k) + 1) ~in_q:(q k 1) ~out_q:(q k 2) ~array:"edges"
+                 ~mode:Ra_scan;
+             ]
+           | Cc_flavor ->
+             [
+               ra ~id:k ~in_q:(q k 1) ~out_q:(q k 2) ~array:"edges" ~mode:Ra_scan;
+             ]))
+  in
+  let stages = List.concat (List.init replicas (fun k -> [ head k; visit k; update k ])) in
+  let name, extra_arrays, init_inputs =
+    match flavor with
+    | Bfs_flavor ->
+      let dist = Array.make n Phloem_graph.Algos.int_max in
+      dist.(0) <- 0;
+      ( "bfs_replicated",
+        [ int_array "dist" n ],
+        [
+          ("dist", vint dist);
+          ("cur_fringe", vint (Array.make (n + g.Phloem_graph.Csr.m) 0));
+          ("shared", vint [| 1 |]);
+        ] )
+    | Cc_flavor ->
+      ( "cc_replicated",
+        [ int_array "labels" n ],
+        [
+          ("labels", vint (Array.init n (fun i -> i)));
+          ( "cur_fringe",
+            vint
+              (Array.init (n + g.Phloem_graph.Csr.m) (fun i -> if i < n then i else 0)) );
+          ("shared", vint [| n |]);
+        ] )
+  in
+  let p =
+    pipeline name
+      ~arrays:
+        ([
+           int_array "nodes" (n + 1);
+           int_array "edges" (max g.Phloem_graph.Csr.m 1);
+           int_array "cur_fringe" (n + g.Phloem_graph.Csr.m);
+           int_array "next_fringe" (replicas * (n + g.Phloem_graph.Csr.m));
+           int_array "counts" replicas;
+           int_array "shared" 1;
+         ]
+        @ extra_arrays)
+      ~params:
+        [ ("n", Vint n); ("fs", Vint (n + g.Phloem_graph.Csr.m)) ]
+      ~queues ~ras stages
+  in
+  let inputs =
+    [
+      ("nodes", vint g.Phloem_graph.Csr.offsets);
+      ("edges", vint g.Phloem_graph.Csr.edges);
+    ]
+    @ init_inputs
+  in
+  (* thread -> core: replica k on core k *)
+  let thread_core = Array.init (3 * replicas) (fun i -> i / 3) in
+  (p, inputs, thread_core)
+
+(* BFS replicated: for BFS, cur_fringe must start with just the root. *)
+let bfs (g : Phloem_graph.Csr.t) ~replicas =
+  let p, inputs, tc = graph_replicated Bfs_flavor g ~replicas in
+  let inputs =
+    List.map
+      (fun (name, a) ->
+        if name = "cur_fringe" then (
+          let a = Array.copy a in
+          a.(0) <- Vint 0;
+          (name, a))
+        else (name, a))
+      inputs
+  in
+  (p, inputs, tc)
+
+let cc (g : Phloem_graph.Csr.t) ~replicas = graph_replicated Cc_flavor g ~replicas
+
+(* Radii: replicate the 2-stage manual pipeline; each replica searches its
+   own share of the samples with private BFS state. *)
+let radii (g : Phloem_graph.Csr.t) ~replicas =
+  let base, base_inputs = Radii.manual g in
+  let per = max 1 (Radii.samples / replicas) in
+  let spec =
+    {
+      Phloem.Replicate.r_replicas = replicas;
+      r_private_arrays =
+        [ "roots"; "dist"; "radii"; "cur_fringe"; "next_fringe"; "out" ];
+      r_private_params = [ ("samples", fun _ -> Vint per) ];
+      r_distribute = None;
+    }
+  in
+  let p = Phloem.Replicate.apply base spec in
+  (* rebind the private arrays per replica: roots are partitioned *)
+  let all_roots = Radii.roots g in
+  let inputs =
+    List.filter
+      (fun (name, _) ->
+        not
+          (List.mem name spec.Phloem.Replicate.r_private_arrays))
+      base_inputs
+    @ List.concat
+        (List.init replicas (fun k ->
+             let slice = Array.make Radii.samples 0 in
+             Array.blit all_roots (k * per) slice 0 per;
+             [ (Phloem.Replicate.private_name "roots" k, vint slice) ]))
+  in
+  let tc = Phloem.Replicate.thread_core_map base ~replicas ~n_cores:4 in
+  (p, inputs, tc, per)
+
+(* Validation for the replicated Radii: the per-replica radii combine by
+   elementwise max. *)
+let radii_combined (res : Phloem_ir.Interp.result) ~replicas ~n =
+  let out = Array.make n 0 in
+  for k = 0 to replicas - 1 do
+    match
+      List.assoc_opt
+        (Phloem.Replicate.private_name "radii" k)
+        res.Phloem_ir.Interp.r_arrays
+    with
+    | Some a ->
+      Array.iteri
+        (fun i x -> match x with Vint d -> if d > out.(i) then out.(i) <- d | _ -> ())
+        a
+    | None -> ()
+  done;
+  out
+
+(* PRD: each replica is a head / route / apply pipeline on a fringe slice;
+   neighbor-sum updates are distributed to the owner replica so ngh_sum
+   partitions stay private (no atomics). Routing and applying live in
+   separate threads so the all-to-all exchange cannot deadlock on bounded
+   queues. *)
+let prd (g : Phloem_graph.Csr.t) ~replicas =
+  let n = g.Phloem_graph.Csr.n in
+  let stride = 6 in
+  let q k i = (k * stride) + i in
+  (* per replica: 0 scan_in, 1 scan_out, 2 inbox(ngh), 3 contrib, 5 inbox(contrib) *)
+  let head k =
+    stage
+      (Printf.sprintf "head_r%d" k)
+      [
+        for_ "it" (int 0) (v "iters")
+          [
+            barrier 311;
+            "cur_size" <-- load "shared" (int 0);
+            "lo" <-- (int k *! v "cur_size" /! int replicas);
+            "hi" <-- ((int k +! int 1) *! v "cur_size" /! int replicas);
+            for_ "i" (v "lo") (v "hi")
+              [
+                "vx" <-- load "cur_fringe" (v "i");
+                "es" <-- load "nodes" (v "vx");
+                "ee" <-- load "nodes" (v "vx" +! int 1);
+                "deg" <-- (v "ee" -! v "es");
+                when_ (v "deg" >! int 0)
+                  [
+                    "contrib" <-- (load "delta" (v "vx") /! to_float (v "deg"));
+                    enq (q k 0) (v "es");
+                    enq (q k 0) (v "ee");
+                    for_ "e" (v "es") (v "ee") [ enq (q k 3) (v "contrib") ];
+                  ];
+              ];
+            enq_ctrl (q k 0) cv_end;
+            barrier 312;
+            barrier 313;
+          ];
+      ]
+  in
+  let route k =
+    let inboxes = Array.init replicas (fun j -> q j 2) in
+    let cboxes = Array.init replicas (fun j -> q j 5) in
+    stage
+      (Printf.sprintf "route_r%d" k)
+      [
+        for_ "it" (int 0) (v "iters")
+          [
+            barrier 311;
+            loop_forever
+              [
+                "x" <-- deq (q k 1);
+                if_ (is_control (v "x"))
+                  (Array.to_list inboxes
+                  |> List.map (fun qd -> enq_ctrl qd cv_end)
+                  |> fun fan -> fan @ [ break_ ])
+                  [
+                    "cb" <-- deq (q k 3);
+                    "sel" <-- (v "x" %! int replicas);
+                    enq_indexed inboxes (v "sel") (v "x");
+                    enq_indexed cboxes (v "sel") (v "cb");
+                  ];
+              ];
+            barrier 312;
+            barrier 313;
+          ];
+      ]
+  in
+  let apply k =
+    let compact =
+      if k = 0 then
+        [
+          "total" <-- int 0;
+          for_ "tt" (int 0) (int replicas)
+            [
+              "c" <-- load "counts" (v "tt");
+              for_ "j" (int 0) (v "c")
+                [
+                  store "cur_fringe" (v "total")
+                    (load "next_fringe" ((v "tt" *! v "n") +! v "j"));
+                  "total" <-- (v "total" +! int 1);
+                ];
+            ];
+          store "shared" (int 0) (v "total");
+        ]
+      else []
+    in
+    stage
+      (Printf.sprintf "apply_r%d" k)
+      [
+        for_ "it" (int 0) (v "iters")
+          ([
+             barrier 311;
+             "cvs" <-- int 0;
+             loop_forever
+               [
+                 "y" <-- deq (q k 2);
+                 if_ (is_control (v "y"))
+                   [
+                     "cvs" <-- (v "cvs" +! int 1);
+                     when_ (v "cvs" ==! int replicas) [ break_ ];
+                   ]
+                   [
+                     "cb2" <-- deq (q k 5);
+                     store "ngh_sum" (v "y") (load "ngh_sum" (v "y") +! v "cb2");
+                   ];
+               ];
+             barrier 312;
+             "ulo" <-- (int k *! v "n" /! int replicas);
+             "uhi" <-- ((int k +! int 1) *! v "n" /! int replicas);
+             "cnt" <-- int 0;
+             for_ "u" (v "ulo") (v "uhi")
+               [
+                 "d2" <-- (v "damping" *! load "ngh_sum" (v "u"));
+                 store "delta" (v "u") (v "d2");
+                 store "ngh_sum" (v "u") (flt 0.0);
+                 when_ (fabs (v "d2") >! v "eps")
+                   [
+                     store "rank" (v "u") (load "rank" (v "u") +! v "d2");
+                     store "next_fringe" ((int k *! v "n") +! v "cnt") (v "u");
+                     "cnt" <-- (v "cnt" +! int 1);
+                   ];
+               ];
+             store "counts" (int k) (v "cnt");
+             barrier 313;
+           ]
+          @ compact);
+      ]
+  in
+  let stages =
+    List.concat (List.init replicas (fun k -> [ head k; route k; apply k ]))
+  in
+  let queues =
+    List.concat (List.init replicas (fun k -> List.init stride (fun i -> queue (q k i))))
+  in
+  let ras =
+    List.init replicas (fun k ->
+        ra ~id:k ~in_q:(q k 0) ~out_q:(q k 1) ~array:"edges" ~mode:Ra_scan)
+  in
+  let p =
+    pipeline "prd_replicated"
+      ~arrays:
+        [
+          int_array "nodes" (n + 1);
+          int_array "edges" (max g.Phloem_graph.Csr.m 1);
+          float_array "rank" n;
+          float_array "delta" n;
+          float_array "ngh_sum" n;
+          int_array "cur_fringe" n;
+          int_array "next_fringe" (replicas * n);
+          int_array "counts" replicas;
+          int_array "shared" 1;
+        ]
+      ~params:(Prd.scalars g)
+      ~queues ~ras stages
+  in
+  let inputs =
+    List.filter
+      (fun (name, _) -> name <> "out" && name <> "next_fringe")
+      (Prd.base_arrays g)
+    @ [ ("shared", vint [| n |]) ]
+  in
+  let tc = Array.init (3 * replicas) (fun i -> i / 3) in
+  (p, inputs, tc)

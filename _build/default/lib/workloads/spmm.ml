@@ -1,0 +1,224 @@
+(* Sparse Matrix-Matrix Multiplication with an inner-product (output
+   stationary) dataflow: C(i,j) is the merge-intersection dot product of A's
+   row i and B^T's row j (paper Sec. VI-B).
+
+   This is the paper's negative result for Phloem: the merge loop's
+   induction updates are control-dependent on loaded values, so cuts inside
+   it are illegal and the static flow only decouples the row-pointer
+   fetches. The manual pipeline streams both (column, value) runs through
+   four scan RAs with per-task control values and uses the bespoke
+   skip-to-next-control-value trick when one run ends first. *)
+
+open Phloem_ir.Types
+open Phloem_ir.Builder
+open Workload
+module M = Phloem_sparse.Csr_matrix
+
+let serial_source =
+  "#pragma phloem\n\
+   void spmm(int rows, int cols, int *restrict arp, int *restrict acol,\n\
+   \          float *restrict avals, int *restrict brp, int *restrict bcol,\n\
+   \          float *restrict bvals, float *restrict c) {\n\
+   for (int i = 0; i < rows; i++) {\n\
+   for (int j = 0; j < cols; j++) {\n\
+   int i1 = arp[i];\n\
+   int e1 = arp[i + 1];\n\
+   int j1 = brp[j];\n\
+   int e2 = brp[j + 1];\n\
+   float acc = 0.0;\n\
+   while (i1 < e1 && j1 < e2) {\n\
+   int c1 = acol[i1];\n\
+   int c2 = bcol[j1];\n\
+   if (c1 == c2) {\n\
+   acc = acc + avals[i1] * bvals[j1];\n\
+   i1 = i1 + 1;\n\
+   j1 = j1 + 1;\n\
+   } else {\n\
+   if (c1 < c2) { i1 = i1 + 1; } else { j1 = j1 + 1; }\n\
+   }\n\
+   }\n\
+   c[i * cols + j] = acc;\n\
+   }\n\
+   }\n\
+   }"
+
+let base_arrays (a : M.t) (bt : M.t) =
+  [
+    ("arp", vint a.M.row_ptr);
+    ("acol", vint a.M.col_idx);
+    ("avals", vfloat a.M.vals);
+    ("brp", vint bt.M.row_ptr);
+    ("bcol", vint bt.M.col_idx);
+    ("bvals", vfloat bt.M.vals);
+    ("c", vfloat (Array.make (a.M.rows * bt.M.rows) 0.0));
+  ]
+
+let scalars (a : M.t) (bt : M.t) = [ ("rows", Vint a.M.rows); ("cols", Vint bt.M.rows) ]
+
+let serial (a : M.t) (bt : M.t) =
+  let lw = Phloem_minic.Lower.of_source serial_source in
+  Phloem_minic.Lower.to_serial_pipeline lw ~arrays:(base_arrays a bt)
+    ~scalars:(scalars a bt)
+
+(* Data-parallel: output rows are independent; partition i across threads. *)
+let data_parallel (a : M.t) (bt : M.t) ~threads =
+  let thread t =
+    stage
+      (Printf.sprintf "dp%d" t)
+      [
+        "lo" <-- (int t *! v "rows" /! int threads);
+        "hi" <-- ((int t +! int 1) *! v "rows" /! int threads);
+        for_ "i" (v "lo") (v "hi")
+          [
+            for_ "j" (int 0) (v "cols")
+              [
+                "i1" <-- load "arp" (v "i");
+                "e1" <-- load "arp" (v "i" +! int 1);
+                "j1" <-- load "brp" (v "j");
+                "e2" <-- load "brp" (v "j" +! int 1);
+                "acc" <-- flt 0.0;
+                while_ true_
+                  [
+                    when_ (not_ (v "i1" <! v "e1" &&! (v "j1" <! v "e2"))) [ break_ ];
+                    "c1" <-- load "acol" (v "i1");
+                    "c2" <-- load "bcol" (v "j1");
+                    if_ (v "c1" ==! v "c2")
+                      [
+                        "acc" <-- (v "acc" +! (load "avals" (v "i1") *! load "bvals" (v "j1")));
+                        "i1" <-- (v "i1" +! int 1);
+                        "j1" <-- (v "j1" +! int 1);
+                      ]
+                      [
+                        if_ (v "c1" <! v "c2")
+                          [ "i1" <-- (v "i1" +! int 1) ]
+                          [ "j1" <-- (v "j1" +! int 1) ];
+                      ];
+                  ];
+                store "c" ((v "i" *! v "cols") +! v "j") (v "acc");
+              ];
+          ];
+      ]
+  in
+  let arrays_decl =
+    [
+      int_array "arp" (a.M.rows + 1);
+      int_array "acol" (max a.M.nnz 1);
+      float_array "avals" (max a.M.nnz 1);
+      int_array "brp" (bt.M.rows + 1);
+      int_array "bcol" (max bt.M.nnz 1);
+      float_array "bvals" (max bt.M.nnz 1);
+      float_array "c" (a.M.rows * bt.M.rows);
+    ]
+  in
+  ( pipeline "spmm_dp" ~arrays:arrays_decl ~params:(scalars a bt)
+      (List.init threads thread),
+    base_arrays a bt )
+
+(* Manual pipeline with the merge-skip insight. *)
+let cv_task = 7
+
+let manual (a : M.t) (bt : M.t) =
+  let s0 =
+    stage "tasks"
+      [
+        for_ "i" (int 0) (v "rows")
+          [
+            "i1" <-- load "arp" (v "i");
+            "e1" <-- load "arp" (v "i" +! int 1);
+            for_ "j" (int 0) (v "cols")
+              [
+                "j1" <-- load "brp" (v "j");
+                "e2" <-- load "brp" (v "j" +! int 1);
+                enq 0 (v "i1");
+                enq 0 (v "e1");
+                enq 1 (v "i1");
+                enq 1 (v "e1");
+                enq 2 (v "j1");
+                enq 2 (v "e2");
+                enq 3 (v "j1");
+                enq 3 (v "e2");
+                enq_ctrl 0 cv_task;
+                enq_ctrl 1 cv_task;
+                enq_ctrl 2 cv_task;
+                enq_ctrl 3 cv_task;
+              ];
+          ];
+      ]
+  in
+  let advance side =
+    (* dequeue the next (col, val) of one run; flags <side>_end on a CV *)
+    let qc, qv = if side = "a" then (4, 5) else (6, 7) in
+    [
+      ("c" ^ side) <-- deq qc;
+      ("v" ^ side) <-- deq qv;
+      when_ (is_control (v ("c" ^ side))) [ (side ^ "_end") <-- int 1 ];
+    ]
+  in
+  let s1 =
+    stage "merge"
+      [
+        "ii" <-- int 0;
+        "jj" <-- int 0;
+        for_ "task" (int 0) (v "rows" *! v "cols")
+          ([ "acc" <-- flt 0.0; "a_end" <-- int 0; "b_end" <-- int 0 ]
+          @ advance "a" @ advance "b"
+          @ [
+              loop_forever
+                [
+                  when_ (v "a_end" ==! int 1 &&! (v "b_end" ==! int 1)) [ break_ ];
+                  if_
+                    (v "a_end" ==! int 0 &&! (v "b_end" ==! int 0))
+                    [
+                      if_ (v "ca" ==! v "cb")
+                        ([ "acc" <-- (v "acc" +! (v "va" *! v "vb")) ]
+                        @ advance "a" @ advance "b")
+                        [
+                          if_ (v "ca" <! v "cb") (advance "a") (advance "b");
+                        ];
+                    ]
+                    [
+                      (* one run ended: skip the other to its control value *)
+                      if_ (v "a_end" ==! int 1) (advance "b") (advance "a");
+                    ];
+                ];
+              store "c" ((v "ii" *! v "cols") +! v "jj") (v "acc");
+              "jj" <-- (v "jj" +! int 1);
+              when_ (v "jj" ==! v "cols") [ "jj" <-- int 0; "ii" <-- (v "ii" +! int 1) ];
+            ]);
+      ]
+  in
+  let arrays_decl =
+    [
+      int_array "arp" (a.M.rows + 1);
+      int_array "acol" (max a.M.nnz 1);
+      float_array "avals" (max a.M.nnz 1);
+      int_array "brp" (bt.M.rows + 1);
+      int_array "bcol" (max bt.M.nnz 1);
+      float_array "bvals" (max bt.M.nnz 1);
+      float_array "c" (a.M.rows * bt.M.rows);
+    ]
+  in
+  ( pipeline "spmm_manual" ~arrays:arrays_decl ~params:(scalars a bt)
+      ~queues:[ queue 0; queue 1; queue 2; queue 3; queue 4; queue 5; queue 6; queue 7 ]
+      ~ras:
+        [
+          ra ~id:0 ~in_q:0 ~out_q:4 ~array:"acol" ~mode:Ra_scan;
+          ra ~id:1 ~in_q:1 ~out_q:5 ~array:"avals" ~mode:Ra_scan;
+          ra ~id:2 ~in_q:2 ~out_q:6 ~array:"bcol" ~mode:Ra_scan;
+          ra ~id:3 ~in_q:3 ~out_q:7 ~array:"bvals" ~mode:Ra_scan;
+        ]
+      [ s0; s1 ],
+    base_arrays a bt )
+
+let bind (a : M.t) (bt : M.t) : bound =
+  let reference = Phloem_sparse.Kernels.spmm_inner a bt in
+  let flat = Array.concat (Array.to_list reference) in
+  {
+    b_name = "SpMM";
+    b_serial = serial a bt;
+    b_data_parallel = (fun ~threads -> data_parallel a bt ~threads);
+    b_manual = Some (manual a bt);
+    b_check_arrays = [ "c" ];
+    b_reference = [ ("c", vfloat flat) ];
+    b_float_tolerance = 0.0;
+  }

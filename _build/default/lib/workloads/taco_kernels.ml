@@ -1,0 +1,213 @@
+(* The four Taco benchmarks (paper Sec. VI-B): tensor expressions compiled
+   by taco_lite into minic, then bound to Table V matrices. The paper uses
+   the static Phloem flow for these; there are no manual pipelines. *)
+
+open Phloem_ir.Types
+open Workload
+module M = Phloem_sparse.Csr_matrix
+module K = Phloem_sparse.Kernels
+
+type kind = Spmv | Residual | Mtmul | Sddmm
+
+let name_of = function
+  | Spmv -> "SpMV"
+  | Residual -> "Residual"
+  | Mtmul -> "MTMul"
+  | Sddmm -> "SDDMM"
+
+let expression = function
+  | Spmv -> "y(i) = A(i,j) * x(j)"
+  | Residual -> "y(i) = b(i) - A(i,j) * x(j)"
+  | Mtmul -> "y(i) = alpha * A(j,i) * x(j) + beta * z(i)"
+  | Sddmm -> "A(i,j) = B(i,j) * C(i,k) * D(k,j)"
+
+let sddmm_k = 16
+let alpha = 1.5
+let beta = 0.5
+
+let formats kind (m : M.t) =
+  match kind with
+  | Spmv -> [ ("A", Phloem_taco.Taco.Csr); ("x", Dense_vector); ("y", Dense_vector) ]
+  | Residual ->
+    [
+      ("A", Phloem_taco.Taco.Csr);
+      ("x", Dense_vector);
+      ("b", Dense_vector);
+      ("y", Dense_vector);
+    ]
+  | Mtmul ->
+    [
+      ("A", Phloem_taco.Taco.Csr);
+      ("x", Dense_vector);
+      ("z", Dense_vector);
+      ("y", Dense_vector);
+      ("alpha", Scalar);
+      ("beta", Scalar);
+    ]
+  | Sddmm ->
+    [
+      ("B", Phloem_taco.Taco.Csr);
+      ("C", Dense_matrix (m.M.rows, sddmm_k));
+      ("D", Dense_matrix (sddmm_k, m.M.cols));
+      ("A", Csr);
+    ]
+
+(* The data-parallel baseline partitions output rows across threads; it is
+   generated from the same taco_lite source shape, hand-rolled per kind. *)
+let dp_slice_kernel kind (m : M.t) ~threads =
+  let open Phloem_ir.Builder in
+  let body t =
+    let lo = "lo" and hi = "hi" in
+    let prologue =
+      [
+        lo <-- (int t *! v "n_rows" /! int threads);
+        hi <-- ((int t +! int 1) *! v "n_rows" /! int threads);
+      ]
+    in
+    let row_loop inner = [ for_ "i" (v lo) (v hi) inner ] in
+    let spmv_inner ~extra ~init ~finish =
+      [
+        "acc" <-- flt 0.0;
+        "es" <-- load "A_rp" (v "i");
+        "ee" <-- load "A_rp" (v "i" +! int 1);
+        for_ "e" (v "es") (v "ee")
+          [
+            "j" <-- load "A_col" (v "e");
+            "acc" <-- (v "acc" +! (load "A_vals" (v "e") *! load "x" (v "j")));
+          ];
+      ]
+      @ extra @ init @ finish
+    in
+    match kind with
+    | Spmv ->
+      prologue
+      @ row_loop (spmv_inner ~extra:[] ~init:[] ~finish:[ store "y" (v "i") (v "acc") ])
+    | Residual ->
+      prologue
+      @ row_loop
+          (spmv_inner ~extra:[] ~init:[]
+             ~finish:[ store "y" (v "i") (load "b" (v "i") -! v "acc") ])
+    | Mtmul ->
+      prologue
+      @ row_loop
+          (spmv_inner ~extra:[] ~init:[]
+             ~finish:
+               [
+                 store "y" (v "i")
+                   ((v "alpha" *! v "acc") +! (v "beta" *! load "z" (v "i")));
+               ])
+    | Sddmm ->
+      prologue
+      @ row_loop
+          [
+            "es" <-- load "B_rp" (v "i");
+            "ee" <-- load "B_rp" (v "i" +! int 1);
+            for_ "e" (v "es") (v "ee")
+              [
+                "j" <-- load "B_col" (v "e");
+                "acc" <-- flt 0.0;
+                for_ "k" (int 0) (int sddmm_k)
+                  [
+                    "acc"
+                    <-- (v "acc"
+                        +! (load "C" ((v "i" *! int sddmm_k) +! v "k")
+                           *! load "D" ((v "k" *! v "n_cols") +! v "j")));
+                  ];
+                store "A_out" (v "e") (load "B_vals" (v "e") *! v "acc");
+              ];
+          ]
+  in
+  ignore m;
+  List.init threads (fun t -> stage (Printf.sprintf "dp%d" t) (body t))
+
+(* Bind a kind to a matrix. For MTMul the matrix is pre-transposed, exactly
+   as taco_lite assumes (the sparse row dimension matches the output). *)
+let bind kind (m0 : M.t) : bound =
+  let m = match kind with Mtmul -> M.transpose m0 | _ -> m0 in
+  let n = m.M.rows in
+  let x = Phloem_sparse.Gen.dense_vector ~n:m.M.cols ~seed:301 in
+  let b = Phloem_sparse.Gen.dense_vector ~n ~seed:302 in
+  let z = Phloem_sparse.Gen.dense_vector ~n ~seed:303 in
+  let cm = Phloem_sparse.Gen.dense_matrix ~rows:n ~cols:sddmm_k ~seed:304 in
+  let d = Phloem_sparse.Gen.dense_matrix ~rows:sddmm_k ~cols:m.M.cols ~seed:305 in
+  let plan = Phloem_taco.Taco.compile (formats kind m) (expression kind) in
+  let lw = Phloem_minic.Lower.of_source plan.Phloem_taco.Taco.pl_source in
+  let flatten mat = Array.concat (Array.to_list mat) in
+  let arrays, scalars, check, reference =
+    match kind with
+    | Spmv ->
+      ( [
+          ("A_rp", vint m.M.row_ptr);
+          ("A_col", vint m.M.col_idx);
+          ("A_vals", vfloat m.M.vals);
+          ("x", vfloat x);
+          ("y", vfloat (Array.make n 0.0));
+        ],
+        [ ("n_rows", Vint n) ],
+        [ "y" ],
+        [ ("y", vfloat (K.spmv m x)) ] )
+    | Residual ->
+      ( [
+          ("A_rp", vint m.M.row_ptr);
+          ("A_col", vint m.M.col_idx);
+          ("A_vals", vfloat m.M.vals);
+          ("x", vfloat x);
+          ("b", vfloat b);
+          ("y", vfloat (Array.make n 0.0));
+        ],
+        [ ("n_rows", Vint n) ],
+        [ "y" ],
+        [ ("y", vfloat (K.residual m x b)) ] )
+    | Mtmul ->
+      ( [
+          ("A_rp", vint m.M.row_ptr);
+          ("A_col", vint m.M.col_idx);
+          ("A_vals", vfloat m.M.vals);
+          ("x", vfloat x);
+          ("z", vfloat z);
+          ("y", vfloat (Array.make n 0.0));
+        ],
+        [ ("n_rows", Vint n); ("alpha", Vfloat alpha); ("beta", Vfloat beta) ],
+        [ "y" ],
+        [ ("y", vfloat (K.mtmul m x z ~alpha ~beta)) ] )
+    | Sddmm ->
+      ( [
+          ("B_rp", vint m.M.row_ptr);
+          ("B_col", vint m.M.col_idx);
+          ("B_vals", vfloat m.M.vals);
+          ("C", vfloat (flatten cm));
+          ("D", vfloat (flatten d));
+          ("A_out", vfloat (Array.make (max m.M.nnz 1) 0.0));
+        ],
+        [ ("n_rows", Vint n) ],
+        [ "A_out" ],
+        [ ("A_out", vfloat (K.sddmm m cm d)) ] )
+  in
+  let serial = Phloem_minic.Lower.to_serial_pipeline lw ~arrays ~scalars in
+  let data_parallel ~threads =
+    let open Phloem_ir.Builder in
+    let decls =
+      List.map
+        (fun (name, contents) ->
+          match contents.(0) with
+          | Vint _ -> int_array name (Array.length contents)
+          | Vfloat _ -> float_array name (Array.length contents)
+          | Vctrl _ -> assert false)
+        arrays
+    in
+    let scalars' = scalars @ [ ("n_cols", Vint m.M.cols) ] in
+    ( pipeline
+        (String.lowercase_ascii (name_of kind) ^ "_dp")
+        ~arrays:decls ~params:scalars'
+        (dp_slice_kernel kind m ~threads),
+      arrays )
+  in
+  {
+    b_name = name_of kind;
+    b_serial = serial;
+    b_data_parallel = data_parallel;
+    b_manual = None;
+    b_check_arrays = check;
+    b_reference = reference;
+    b_float_tolerance = 0.0;
+  }

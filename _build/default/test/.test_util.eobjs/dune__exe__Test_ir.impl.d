@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Gen Interp List Phloem_ir Phloem_util QCheck QCheck_alcotest Trace Types Validate

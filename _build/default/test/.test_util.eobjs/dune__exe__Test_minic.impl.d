@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Ast Lexer List Lower Parser Phloem_graph Phloem_ir Phloem_minic Str String

@@ -1,0 +1,1 @@
+test/test_pipette.ml: Alcotest Array Builder Cache Config Energy Engine Interp List Phloem_ir Phloem_util Pipette Predictor Printf QCheck QCheck_alcotest Sim Types

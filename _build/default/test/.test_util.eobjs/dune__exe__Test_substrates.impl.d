@@ -1,0 +1,1 @@
+test/test_substrates.ml: Alcotest Array List Phloem_graph Phloem_sparse Phloem_taco Phloem_workloads Pipette QCheck QCheck_alcotest

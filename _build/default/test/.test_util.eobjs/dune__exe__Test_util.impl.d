@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen Heap List Phloem_util Prng QCheck QCheck_alcotest Stats String Table Vec

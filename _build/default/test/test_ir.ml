@@ -1,0 +1,452 @@
+(* Tests for the Phloem IR: interpreter semantics, queue/Kahn behaviour,
+   control values and handlers, reference accelerators, validation, and the
+   pipeline-equals-serial property on random programs. *)
+
+open Phloem_ir
+open Types
+open Builder
+
+let vint_array a = Array.map (fun x -> Vint x) a
+
+let ints_of_result res name =
+  match List.assoc_opt name res.Interp.r_arrays with
+  | None -> Alcotest.failf "array %s missing from result" name
+  | Some a ->
+    Array.map (function Vint i -> i | v -> Alcotest.failf "non-int %s" (value_to_string v)) a
+
+(* --- simple serial semantics --- *)
+
+let test_serial_sum () =
+  (* out[0] = sum of a[0..n) *)
+  let p =
+    serial "sum"
+      ~arrays:[ int_array "a" 10; int_array "out" 1 ]
+      ~params:[ ("n", Vint 10) ]
+      [
+        "acc" <-- int 0;
+        for_ "i" (int 0) (v "n") [ "acc" <-- (v "acc" +! load "a" (v "i")) ];
+        store "out" (int 0) (v "acc");
+      ]
+  in
+  let a = Array.init 10 (fun i -> i * 3) in
+  let res = Interp.run ~inputs:[ ("a", vint_array a) ] p in
+  Alcotest.(check int) "sum" (Array.fold_left ( + ) 0 a) (ints_of_result res "out").(0)
+
+let test_two_stage_queue () =
+  (* producer sends squares, consumer accumulates *)
+  let p =
+    pipeline "sq"
+      ~arrays:[ int_array "out" 1 ]
+      ~params:[ ("n", Vint 8) ]
+      ~queues:[ queue 0 ]
+      [
+        stage "prod" [ for_ "i" (int 0) (v "n") [ enq 0 (v "i" *! v "i") ] ];
+        stage "cons"
+          [
+            "acc" <-- int 0;
+            for_ "i" (int 0) (v "n") [ "acc" <-- (v "acc" +! deq 0) ];
+            store "out" (int 0) (v "acc");
+          ];
+      ]
+  in
+  let res = Interp.run p in
+  Alcotest.(check int) "sum of squares" 140 (ints_of_result res "out").(0)
+
+let test_control_value_check () =
+  (* producer terminates the stream with a control value; consumer loops
+     until it sees it, using an explicit is_control check. *)
+  let p =
+    pipeline "cv"
+      ~arrays:[ int_array "out" 1 ]
+      ~queues:[ queue 0 ]
+      [
+        stage "prod" [ for_ "i" (int 1) (int 6) [ enq 0 (v "i") ]; enq_ctrl 0 99 ];
+        stage "cons"
+          [
+            "acc" <-- int 0;
+            loop_forever
+              [
+                "x" <-- deq 0;
+                when_ (is_control (v "x")) [ break_ ];
+                "acc" <-- (v "acc" +! v "x");
+              ];
+            store "out" (int 0) (v "acc");
+          ];
+      ]
+  in
+  let res = Interp.run p in
+  Alcotest.(check int) "sum 1..5" 15 (ints_of_result res "out").(0)
+
+let test_control_value_handler () =
+  (* Same but via a control-value handler: no per-element check. *)
+  let p =
+    pipeline "cvh"
+      ~arrays:[ int_array "out" 1 ]
+      ~queues:[ queue 0 ]
+      [
+        stage "prod" [ for_ "i" (int 1) (int 6) [ enq 0 (v "i") ]; enq_ctrl 0 99 ];
+        stage "cons"
+          ~handlers:
+            [ handler ~queue:0 ~cv:"cv" [ store "out" (int 1) (ctrl_payload (v "cv")); exit_loops 1 ] ]
+          [
+            "acc" <-- int 0;
+            loop_forever [ "acc" <-- (v "acc" +! deq 0) ];
+            store "out" (int 0) (v "acc");
+          ];
+      ]
+  in
+  let p = { p with p_arrays = [ int_array "out" 2 ] } in
+  let res = Interp.run p in
+  let out = ints_of_result res "out" in
+  Alcotest.(check int) "sum" 15 out.(0);
+  Alcotest.(check int) "payload seen by handler" 99 out.(1)
+
+let test_handler_skip_continue () =
+  (* Handler that falls through: control values are skipped transparently. *)
+  let p =
+    pipeline "cvskip"
+      ~arrays:[ int_array "out" 1 ]
+      ~queues:[ queue 0 ]
+      [
+        stage "prod"
+          [
+            enq 0 (int 1);
+            enq_ctrl 0 7;
+            enq 0 (int 2);
+            enq_ctrl 0 8;
+            enq 0 (int 3);
+            enq_ctrl 0 0;
+          ];
+        stage "cons"
+          ~handlers:
+            [
+              handler ~queue:0 ~cv:"cv"
+                [ when_ (ctrl_payload (v "cv") ==! int 0) [ exit_loops 1 ] ];
+            ]
+          [
+            "acc" <-- int 0;
+            loop_forever [ "acc" <-- (v "acc" +! deq 0) ];
+            store "out" (int 0) (v "acc");
+          ];
+      ]
+  in
+  let res = Interp.run p in
+  Alcotest.(check int) "data summed, cvs skipped" 6 (ints_of_result res "out").(0)
+
+let test_ra_indirect () =
+  (* producer sends indices; RA fetches table[idx]; consumer accumulates. *)
+  let p =
+    pipeline "ra"
+      ~arrays:[ int_array "table" 16; int_array "out" 1 ]
+      ~queues:[ queue 0; queue 1 ]
+      ~ras:[ ra ~id:0 ~in_q:0 ~out_q:1 ~array:"table" ~mode:Ra_indirect ]
+      [
+        stage "prod" [ for_ "i" (int 0) (int 8) [ enq 0 (v "i" *! int 2) ] ];
+        stage "cons"
+          [
+            "acc" <-- int 0;
+            for_ "i" (int 0) (int 8) [ "acc" <-- (v "acc" +! deq 1) ];
+            store "out" (int 0) (v "acc");
+          ];
+      ]
+  in
+  let table = Array.init 16 (fun i -> 100 + i) in
+  let res = Interp.run ~inputs:[ ("table", vint_array table) ] p in
+  let expected = List.init 8 (fun i -> table.(2 * i)) |> List.fold_left ( + ) 0 in
+  Alcotest.(check int) "indirect RA" expected (ints_of_result res "out").(0)
+
+let test_ra_scan_chained () =
+  (* Chained RAs as in BFS: indirect on nodes (start/end), scan on edges. *)
+  let nodes = [| 0; 2; 5; 6 |] in
+  let edges = [| 10; 11; 20; 21; 22; 30 |] in
+  let p =
+    pipeline "chain"
+      ~arrays:[ int_array "nodes" 4; int_array "edges" 6; int_array "out" 1 ]
+      ~queues:[ queue 0; queue 1; queue 2 ]
+      ~ras:
+        [
+          ra ~id:0 ~in_q:0 ~out_q:1 ~array:"nodes" ~mode:Ra_indirect;
+          ra ~id:1 ~in_q:1 ~out_q:2 ~array:"edges" ~mode:Ra_scan;
+        ]
+      [
+        stage "prod"
+          [
+            for_ "vtx" (int 0) (int 3) [ enq 0 (v "vtx"); enq 0 (v "vtx" +! int 1) ];
+            enq_ctrl 0 1;
+          ];
+        stage "cons"
+          ~handlers:[ handler ~queue:2 ~cv:"cv" [ exit_loops 1 ] ]
+          [
+            "acc" <-- int 0;
+            loop_forever [ "acc" <-- (v "acc" +! deq 2) ];
+            store "out" (int 0) (v "acc");
+          ];
+      ]
+  in
+  let res =
+    Interp.run ~inputs:[ ("nodes", vint_array nodes); ("edges", vint_array edges) ] p
+  in
+  Alcotest.(check int) "all edges streamed" (Array.fold_left ( + ) 0 edges)
+    (ints_of_result res "out").(0)
+
+let test_feedback_queue () =
+  (* Two stages with a feedback edge: stage B tells stage A how many rounds
+     remain (models BFS round synchronization). *)
+  let p =
+    pipeline "feedback"
+      ~arrays:[ int_array "out" 1 ]
+      ~queues:[ queue 0; queue 1 ]
+      [
+        stage "head"
+          [
+            "rounds" <-- int 5;
+            while_ (v "rounds" >! int 0)
+              [ enq 0 (v "rounds"); "rounds" <-- deq 1 ];
+          ];
+        stage "tail"
+          [
+            "acc" <-- int 0;
+            "r" <-- deq 0;
+            while_ (v "r" >! int 0)
+              [
+                "acc" <-- (v "acc" +! v "r");
+                enq 1 (v "r" -! int 1);
+                "r" <-- deq 0;
+              ];
+            Seq_marker "unreachable";
+          ];
+      ]
+  in
+  (* head's loop ends when rounds = 0 but tail still waits for one more enq,
+     so head must send the final 0 to unblock it. *)
+  let p =
+    {
+      p with
+      p_stages =
+        [
+          stage "head"
+            [
+              "rounds" <-- int 5;
+              while_ (v "rounds" >! int 0)
+                [ enq 0 (v "rounds"); "rounds" <-- deq 1 ];
+              enq 0 (int 0);
+            ];
+          stage "tail"
+            [
+              "acc" <-- int 0;
+              "r" <-- deq 0;
+              while_ (v "r" >! int 0)
+                [
+                  "acc" <-- (v "acc" +! v "r");
+                  enq 1 (v "r" -! int 1);
+                  "r" <-- deq 0;
+                ];
+              store "out" (int 0) (v "acc");
+            ];
+        ];
+    }
+  in
+  let res = Interp.run p in
+  Alcotest.(check int) "5+4+3+2+1" 15 (ints_of_result res "out").(0)
+
+let test_barrier_phases () =
+  (* Phase 1: both stages write their half; phase 2: each reads the other's
+     half. The barrier makes this safe. *)
+  let p =
+    pipeline "phases"
+      ~arrays:[ int_array "buf" 2; int_array "out" 2 ]
+      [
+        stage "s0"
+          [ store "buf" (int 0) (int 11); barrier 1; store "out" (int 0) (load "buf" (int 1)) ];
+        stage "s1"
+          [ store "buf" (int 1) (int 22); barrier 1; store "out" (int 1) (load "buf" (int 0)) ];
+      ]
+  in
+  let res = Interp.run p in
+  let out = ints_of_result res "out" in
+  Alcotest.(check (pair int int)) "cross reads" (22, 11) (out.(0), out.(1))
+
+let test_deadlock_detection () =
+  let p =
+    pipeline "dead"
+      ~queues:[ queue 0 ]
+      [ stage "only" [ "x" <-- deq 0 ] ]
+  in
+  Alcotest.check_raises "deadlock"
+    (Interp.Deadlock "pipeline dead deadlocked: only waits on q0") (fun () ->
+      ignore (Interp.run p))
+
+let test_enq_indexed () =
+  (* distribute across two consumer queues by parity *)
+  let p =
+    pipeline "dist"
+      ~arrays:[ int_array "out" 2 ]
+      ~queues:[ queue 0; queue 1 ]
+      [
+        stage "prod"
+          [
+            for_ "i" (int 0) (int 10) [ enq_indexed [| 0; 1 |] (v "i" %! int 2) (v "i") ];
+            enq_ctrl 0 1;
+            enq_ctrl 1 1;
+          ];
+        stage "even"
+          ~handlers:[ handler ~queue:0 ~cv:"c" [ exit_loops 1 ] ]
+          [
+            "acc" <-- int 0;
+            loop_forever [ "acc" <-- (v "acc" +! deq 0) ];
+            store "out" (int 0) (v "acc");
+          ];
+        stage "odd"
+          ~handlers:[ handler ~queue:1 ~cv:"c" [ exit_loops 1 ] ]
+          [
+            "acc" <-- int 0;
+            loop_forever [ "acc" <-- (v "acc" +! deq 1) ];
+            store "out" (int 1) (v "acc");
+          ];
+      ]
+  in
+  let res = Interp.run p in
+  let out = ints_of_result res "out" in
+  Alcotest.(check (pair int int)) "parity sums" (20, 25) (out.(0), out.(1))
+
+(* --- trace sanity --- *)
+
+let test_trace_deps_wellformed () =
+  let p =
+    pipeline "tr"
+      ~arrays:[ int_array "a" 4; int_array "out" 1 ]
+      ~queues:[ queue 0 ]
+      [
+        stage "prod" [ for_ "i" (int 0) (int 4) [ enq 0 (load "a" (v "i")) ] ];
+        stage "cons"
+          [
+            "acc" <-- int 0;
+            for_ "i" (int 0) (int 4) [ "acc" <-- (v "acc" +! deq 0) ];
+            store "out" (int 0) (v "acc");
+          ];
+      ]
+  in
+  let res = Interp.run ~inputs:[ ("a", vint_array [| 1; 2; 3; 4 |]) ] p in
+  let tr = res.Interp.r_trace in
+  Array.iter
+    (fun th ->
+      let n = Trace.length th in
+      for i = 0 to n - 1 do
+        let check_dep d =
+          if d <> Trace.no_dep && d >= i then
+            Alcotest.failf "op %d depends on later op %d" i d
+        in
+        check_dep (Phloem_util.Vec.Int_vec.get th.Trace.dep1 i);
+        check_dep (Phloem_util.Vec.Int_vec.get th.Trace.dep2 i);
+        check_dep (Phloem_util.Vec.Int_vec.get th.Trace.dep3 i)
+      done)
+    tr.Trace.threads;
+  Alcotest.(check bool) "ops recorded" true (Trace.op_count tr > 0)
+
+(* --- validation --- *)
+
+let test_validate_multiconsumer () =
+  let p =
+    pipeline "bad"
+      ~queues:[ queue 0 ]
+      [
+        stage "p" [ enq 0 (int 1); enq 0 (int 2) ];
+        stage "c1" [ "x" <-- deq 0 ];
+        stage "c2" [ "y" <-- deq 0 ];
+      ]
+  in
+  (match Validate.check p with
+  | () -> Alcotest.fail "expected Invalid"
+  | exception Validate.Invalid _ -> ())
+
+let test_validate_undeclared_queue () =
+  let p = pipeline "bad2" [ stage "p" [ enq 3 (int 1) ] ] in
+  match Validate.check p with
+  | () -> Alcotest.fail "expected Invalid"
+  | exception Validate.Invalid _ -> ()
+
+let test_validate_break_outside_loop () =
+  let p = pipeline "bad3" [ stage "p" [ break_ ] ] in
+  match Validate.check p with
+  | () -> Alcotest.fail "expected Invalid"
+  | exception Validate.Invalid _ -> ()
+
+(* --- qcheck: random straight-line/loop programs, pipeline == serial --- *)
+
+(* Generates a random two-stage map/filter pipeline and checks it computes
+   the same as the equivalent serial loop. *)
+let prop_two_stage_equiv =
+  QCheck.Test.make ~count:100 ~name:"split map/filter pipeline equals serial"
+    QCheck.(
+      pair (list_of_size Gen.(int_range 1 40) (int_range (-100) 100)) (int_range 1 7))
+    (fun (data, k) ->
+      let n = List.length data in
+      let arr = Array.of_list data in
+      let serial_expected =
+        Array.fold_left (fun acc x -> if x > 0 then acc + (x * k) else acc) 0 arr
+      in
+      let p =
+        pipeline "prop"
+          ~arrays:[ int_array "a" n; int_array "out" 1 ]
+          ~params:[ ("n", Vint n); ("k", Vint k) ]
+          ~queues:[ queue 0 ]
+          [
+            stage "filter"
+              [
+                for_ "i" (int 0) (v "n")
+                  [
+                    "x" <-- load "a" (v "i");
+                    when_ (v "x" >! int 0) [ enq 0 (v "x") ];
+                  ];
+                enq_ctrl 0 1;
+              ];
+            stage "scale"
+              ~handlers:[ handler ~queue:0 ~cv:"c" [ exit_loops 1 ] ]
+              [
+                "acc" <-- int 0;
+                loop_forever [ "acc" <-- (v "acc" +! (deq 0 *! v "k")) ];
+                store "out" (int 0) (v "acc");
+              ];
+          ]
+      in
+      let res = Interp.run ~inputs:[ ("a", vint_array arr) ] p in
+      (ints_of_result res "out").(0) = serial_expected)
+
+let prop_queue_traffic_counts =
+  QCheck.Test.make ~count:50 ~name:"queue traffic equals values enqueued"
+    QCheck.(int_range 0 50)
+    (fun n ->
+      let p =
+        pipeline "traffic"
+          ~params:[ ("n", Vint n) ]
+          ~queues:[ queue 0 ]
+          [
+            stage "prod" [ for_ "i" (int 0) (v "n") [ enq 0 (v "i") ] ];
+            stage "cons" [ for_ "i" (int 0) (v "n") [ "x" <-- deq 0 ] ];
+          ]
+      in
+      let res = Interp.run p in
+      res.Interp.r_queue_traffic.(0) = n)
+
+let suite =
+  [
+    Alcotest.test_case "serial sum" `Quick test_serial_sum;
+    Alcotest.test_case "two-stage queue" `Quick test_two_stage_queue;
+    Alcotest.test_case "control value with check" `Quick test_control_value_check;
+    Alcotest.test_case "control value handler" `Quick test_control_value_handler;
+    Alcotest.test_case "handler skip/continue" `Quick test_handler_skip_continue;
+    Alcotest.test_case "indirect RA" `Quick test_ra_indirect;
+    Alcotest.test_case "chained scan RA" `Quick test_ra_scan_chained;
+    Alcotest.test_case "feedback queue rounds" `Quick test_feedback_queue;
+    Alcotest.test_case "barrier phases" `Quick test_barrier_phases;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "enq_indexed distribution" `Quick test_enq_indexed;
+    Alcotest.test_case "trace deps well-formed" `Quick test_trace_deps_wellformed;
+    Alcotest.test_case "validate: multi-consumer" `Quick test_validate_multiconsumer;
+    Alcotest.test_case "validate: undeclared queue" `Quick test_validate_undeclared_queue;
+    Alcotest.test_case "validate: break outside loop" `Quick test_validate_break_outside_loop;
+    QCheck_alcotest.to_alcotest prop_two_stage_equiv;
+    QCheck_alcotest.to_alcotest prop_queue_traffic_counts;
+  ]
+
+let () = Alcotest.run "phloem_ir" [ ("ir", suite) ]

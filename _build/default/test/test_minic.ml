@@ -1,0 +1,287 @@
+(* Tests for the minic frontend: lexer, parser, type checking, lowering, and
+   end-to-end execution of minic kernels against pure-OCaml references. *)
+
+open Phloem_minic
+module I = Phloem_ir.Types
+
+let lex_kinds src =
+  Lexer.tokenize src |> List.map (fun l -> l.Lexer.tok)
+
+let test_lexer_basics () =
+  let toks = lex_kinds "int x = 42; // comment\nfloat y = 3.5;" in
+  Alcotest.(check int) "token count" 11 (List.length toks);
+  (match toks with
+  | Lexer.KW "int" :: Lexer.IDENT "x" :: Lexer.PUNCT "=" :: Lexer.INT 42 :: _ -> ()
+  | _ -> Alcotest.fail "unexpected tokens");
+  match List.filter (function Lexer.FLOAT f -> f = 3.5 | _ -> false) toks with
+  | [ _ ] -> ()
+  | _ -> Alcotest.fail "float literal not lexed"
+
+let test_lexer_pragma () =
+  match lex_kinds "#pragma phloem\nvoid f() {}" with
+  | Lexer.PRAGMA "phloem" :: _ -> ()
+  | _ -> Alcotest.fail "pragma not lexed"
+
+let test_lexer_block_comment () =
+  let toks = lex_kinds "/* multi\nline */ int x;" in
+  Alcotest.(check int) "comment skipped" 4 (List.length toks)
+
+let test_lexer_error () =
+  match lex_kinds "int @ x;" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Lexer.Error _ -> ()
+
+let test_parser_precedence () =
+  let prog = Parser.parse_program "void f(int a) { int x = 1 + 2 * 3 < 4 && 5 == 6; }" in
+  match prog.Ast.funcs with
+  | [ { Ast.f_body = [ Ast.Sdecl (Ast.Tint, "x", Some e) ]; _ } ] -> (
+    (* (((1 + (2*3)) < 4) && (5 == 6)) *)
+    match e with
+    | Ast.Ebin (Ast.Band, Ast.Ebin (Ast.Blt, Ast.Ebin (Ast.Badd, _, Ast.Ebin (Ast.Bmul, _, _)), _), Ast.Ebin (Ast.Beq, _, _)) -> ()
+    | _ -> Alcotest.fail "wrong precedence tree")
+  | _ -> Alcotest.fail "parse failure"
+
+let test_parser_for_if_break () =
+  let src =
+    "void f(int n, int *restrict a) {\n\
+     for (int i = 0; i < n; i++) {\n\
+     if (a[i] > 0) { a[i] = 0; } else break;\n\
+     }\n\
+     }"
+  in
+  let prog = Parser.parse_program src in
+  match prog.Ast.funcs with
+  | [ { Ast.f_body = [ Ast.Sfor (Some _, Some _, Some _, [ Ast.Sif (_, _, [ Ast.Sbreak ]) ]) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "unexpected for/if structure"
+
+let test_parser_pragmas_attach () =
+  let src = "#pragma phloem\n#pragma replicate(4)\nvoid k(int n) { }" in
+  let prog = Parser.parse_program src in
+  match prog.Ast.funcs with
+  | [ f ] ->
+    Alcotest.(check bool) "phloem" true (List.mem Ast.Pphloem f.Ast.f_pragmas);
+    Alcotest.(check bool) "replicate" true (List.mem (Ast.Preplicate 4) f.Ast.f_pragmas)
+  | _ -> Alcotest.fail "parse failure"
+
+let test_parser_extern_cost () =
+  let src = "#pragma cost 12\nextern int work(int x);\n#pragma phloem\nvoid k(int n) { int y = work(n); }" in
+  let prog = Parser.parse_program src in
+  match prog.Ast.externs with
+  | [ x ] ->
+    Alcotest.(check int) "cost" 12 x.Ast.x_cost;
+    Alcotest.(check string) "name" "work" x.Ast.x_name
+  | _ -> Alcotest.fail "extern not parsed"
+
+let test_parser_postincr_index () =
+  let src = "void f(int *restrict a, int len, int v) { a[len++] = v; }" in
+  let prog = Parser.parse_program src in
+  match prog.Ast.funcs with
+  | [ { Ast.f_body = [ Ast.Sassign (Ast.Lindex ("a", Ast.Epostincr "len"), _) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "postincrement index not parsed"
+
+let test_parser_error_message () =
+  match Parser.parse_program "void f( { }" with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Parser.Error msg ->
+    Alcotest.(check bool) "mentions line" true (String.length msg > 0)
+
+(* --- lowering + execution --- *)
+
+let run_kernel src ~arrays ~scalars =
+  let lw = Lower.of_source src in
+  let p, inputs = Lower.to_serial_pipeline lw ~arrays ~scalars in
+  Phloem_ir.Interp.run ~inputs p
+
+let ints name res =
+  match List.assoc_opt name res.Phloem_ir.Interp.r_arrays with
+  | Some a -> Array.map (function I.Vint i -> i | _ -> Alcotest.fail "non-int") a
+  | None -> Alcotest.failf "missing array %s" name
+
+let floats name res =
+  match List.assoc_opt name res.Phloem_ir.Interp.r_arrays with
+  | Some a -> Array.map (function I.Vfloat f -> f | _ -> Alcotest.fail "non-float") a
+  | None -> Alcotest.failf "missing array %s" name
+
+let vint a = Array.map (fun x -> I.Vint x) a
+let vfloat a = Array.map (fun x -> I.Vfloat x) a
+
+let test_lower_sum () =
+  let src =
+    "#pragma phloem\n\
+     void sum(int n, int *restrict a, int *restrict out) {\n\
+     int acc = 0;\n\
+     for (int i = 0; i < n; i++) { acc += a[i]; }\n\
+     out[0] = acc;\n\
+     }"
+  in
+  let a = Array.init 12 (fun i -> (i * 7) - 20) in
+  let res =
+    run_kernel src
+      ~arrays:[ ("a", vint a); ("out", vint [| 0 |]) ]
+      ~scalars:[ ("n", I.Vint 12) ]
+  in
+  Alcotest.(check int) "sum" (Array.fold_left ( + ) 0 a) (ints "out" res).(0)
+
+let test_lower_float_kernel () =
+  let src =
+    "#pragma phloem\n\
+     void scale(int n, float *restrict x, float *restrict y, float alpha) {\n\
+     for (int i = 0; i < n; i++) { y[i] = alpha * x[i] + 1.5; }\n\
+     }"
+  in
+  let x = [| 1.0; -2.0; 0.25 |] in
+  let res =
+    run_kernel src
+      ~arrays:[ ("x", vfloat x); ("y", vfloat [| 0.; 0.; 0. |]) ]
+      ~scalars:[ ("n", I.Vint 3); ("alpha", I.Vfloat 2.0) ]
+  in
+  let y = floats "y" res in
+  Array.iteri
+    (fun i xi -> Alcotest.(check (float 1e-9)) "y" ((2.0 *. xi) +. 1.5) y.(i))
+    x
+
+let test_lower_while_break () =
+  let src =
+    "#pragma phloem\n\
+     void findfirst(int n, int *restrict a, int *restrict out) {\n\
+     int i = 0;\n\
+     out[0] = 0 - 1;\n\
+     while (i < n) {\n\
+     if (a[i] == 7) { out[0] = i; break; }\n\
+     i++;\n\
+     }\n\
+     }"
+  in
+  let a = [| 3; 9; 7; 7; 1 |] in
+  let res =
+    run_kernel src
+      ~arrays:[ ("a", vint a); ("out", vint [| 0 |]) ]
+      ~scalars:[ ("n", I.Vint 5) ]
+  in
+  Alcotest.(check int) "first index of 7" 2 (ints "out" res).(0)
+
+let test_lower_postincr_compaction () =
+  let src =
+    "#pragma phloem\n\
+     void compact(int n, int *restrict a, int *restrict out, int *restrict cnt) {\n\
+     int len = 0;\n\
+     for (int i = 0; i < n; i++) {\n\
+     if (a[i] > 0) { out[len++] = a[i]; }\n\
+     }\n\
+     cnt[0] = len;\n\
+     }"
+  in
+  let a = [| 5; -1; 3; 0; 9 |] in
+  let res =
+    run_kernel src
+      ~arrays:[ ("a", vint a); ("out", vint [| 0; 0; 0; 0; 0 |]); ("cnt", vint [| 0 |]) ]
+      ~scalars:[ ("n", I.Vint 5) ]
+  in
+  Alcotest.(check int) "count" 3 (ints "cnt" res).(0);
+  Alcotest.(check (list int)) "compacted" [ 5; 3; 9 ]
+    (Array.sub (ints "out" res) 0 3 |> Array.to_list)
+
+let test_lower_int_max () =
+  let src =
+    "#pragma phloem\n\
+     void f(int *restrict out) { out[0] = INT_MAX; }"
+  in
+  let res = run_kernel src ~arrays:[ ("out", vint [| 0 |]) ] ~scalars:[] in
+  Alcotest.(check int) "INT_MAX" Lower.int_max_value (ints "out" res).(0)
+
+let test_lower_type_error () =
+  let src =
+    "#pragma phloem\n\
+     void f(int n, float *restrict x) { x[0] = n; }"
+  in
+  match run_kernel src ~arrays:[ ("x", vfloat [| 0. |]) ] ~scalars:[ ("n", I.Vint 1) ] with
+  | _ -> Alcotest.fail "expected a type error"
+  | exception Lower.Error _ -> ()
+  | exception Phloem_ir.Interp.Runtime_error _ -> ()
+
+let test_lower_unknown_call () =
+  let src = "#pragma phloem\nvoid f(int n) { int x = mystery(n); }" in
+  match Lower.of_source src with
+  | _ -> Alcotest.fail "expected unknown-function error"
+  | exception Lower.Error msg ->
+    Alcotest.(check bool) "names function" true
+      (String.length msg > 0
+      && (try ignore (Str.search_forward (Str.regexp "mystery") msg 0); true
+          with Not_found -> false))
+
+(* BFS in minic, validated against the reference algorithm. This is the
+   paper's Fig. 2 serial code in our surface syntax. *)
+let bfs_src =
+  "#pragma phloem\n\
+   void bfs(int n, int root, int *restrict nodes, int *restrict edges,\n\
+   \         int *restrict dist, int *restrict cur_fringe, int *restrict next_fringe,\n\
+   \         int *restrict sizes) {\n\
+   int cur_size = 1;\n\
+   int cur_dist = 0;\n\
+   cur_fringe[0] = root;\n\
+   dist[root] = 0;\n\
+   while (cur_size > 0) {\n\
+   int next_size = 0;\n\
+   cur_dist = cur_dist + 1;\n\
+   for (int i = 0; i < cur_size; i++) {\n\
+   int v = cur_fringe[i];\n\
+   int edge_start = nodes[v];\n\
+   int edge_end = nodes[v + 1];\n\
+   for (int e = edge_start; e < edge_end; e++) {\n\
+   int ngh = edges[e];\n\
+   int old_dist = dist[ngh];\n\
+   if (cur_dist < old_dist) {\n\
+   dist[ngh] = cur_dist;\n\
+   next_fringe[next_size++] = ngh;\n\
+   }\n\
+   }\n\
+   }\n\
+   for (int i = 0; i < next_size; i++) { cur_fringe[i] = next_fringe[i]; }\n\
+   cur_size = next_size;\n\
+   }\n\
+   sizes[0] = cur_dist;\n\
+   }"
+
+let test_minic_bfs_matches_reference () =
+  let g = Phloem_graph.Gen.grid ~width:16 ~height:12 ~seed:3 in
+  let n = g.Phloem_graph.Csr.n in
+  let expected = Phloem_graph.Algos.bfs g ~root:0 in
+  let dist0 = Array.make n Phloem_graph.Algos.int_max in
+  let res =
+    run_kernel bfs_src
+      ~arrays:
+        [
+          ("nodes", vint g.Phloem_graph.Csr.offsets);
+          ("edges", vint g.Phloem_graph.Csr.edges);
+          ("dist", vint dist0);
+          ("cur_fringe", vint (Array.make n 0));
+          ("next_fringe", vint (Array.make n 0));
+          ("sizes", vint [| 0 |]);
+        ]
+      ~scalars:[ ("n", I.Vint n); ("root", I.Vint 0) ]
+  in
+  Alcotest.(check (array int)) "distances" expected (ints "dist" res)
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer pragma" `Quick test_lexer_pragma;
+    Alcotest.test_case "lexer block comment" `Quick test_lexer_block_comment;
+    Alcotest.test_case "lexer error" `Quick test_lexer_error;
+    Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser for/if/break" `Quick test_parser_for_if_break;
+    Alcotest.test_case "parser pragmas" `Quick test_parser_pragmas_attach;
+    Alcotest.test_case "parser extern cost" `Quick test_parser_extern_cost;
+    Alcotest.test_case "parser postincr index" `Quick test_parser_postincr_index;
+    Alcotest.test_case "parser error" `Quick test_parser_error_message;
+    Alcotest.test_case "lower: sum" `Quick test_lower_sum;
+    Alcotest.test_case "lower: float kernel" `Quick test_lower_float_kernel;
+    Alcotest.test_case "lower: while/break" `Quick test_lower_while_break;
+    Alcotest.test_case "lower: postincr compaction" `Quick test_lower_postincr_compaction;
+    Alcotest.test_case "lower: INT_MAX" `Quick test_lower_int_max;
+    Alcotest.test_case "lower: type error" `Quick test_lower_type_error;
+    Alcotest.test_case "lower: unknown call" `Quick test_lower_unknown_call;
+    Alcotest.test_case "minic BFS matches reference" `Quick test_minic_bfs_matches_reference;
+  ]
+
+let () = Alcotest.run "phloem_minic" [ ("minic", suite) ]

@@ -1,0 +1,308 @@
+(* Tests for the Pipette timing model: caches, branch predictor, engine
+   behaviour on hand-built traces, and end-to-end sanity (decoupling an
+   irregular loop must actually pay off in cycles). *)
+
+open Phloem_ir
+open Builder
+open Pipette
+
+let vint_array a = Array.map (fun x -> Types.Vint x) a
+
+(* --- cache model --- *)
+
+let test_cache_hit_after_miss () =
+  let caches = Cache.create Config.default in
+  let r1 = Cache.access caches ~core:0 ~addr:0x10000 ~now:0 in
+  Alcotest.(check int) "first access goes to DRAM" 4 r1.Cache.level_hit;
+  let r2 = Cache.access caches ~core:0 ~addr:0x10000 ~now:200 in
+  Alcotest.(check int) "second access hits L1" 1 r2.Cache.level_hit;
+  Alcotest.(check int) "L1 latency" Config.default.Config.l1.Config.latency r2.Cache.latency
+
+let test_cache_same_line () =
+  let caches = Cache.create Config.default in
+  ignore (Cache.access caches ~core:0 ~addr:0x20000 ~now:0);
+  let r = Cache.access caches ~core:0 ~addr:0x20004 ~now:10 in
+  Alcotest.(check int) "same 64B line hits L1" 1 r.Cache.level_hit
+
+let test_cache_capacity_eviction () =
+  let cfg = Config.default in
+  let caches = Cache.create cfg in
+  (* Touch far more lines than L1 holds, all mapping across sets; then the
+     first line must have been evicted from L1 (but L2 holds it). *)
+  let l1_lines = cfg.Config.l1.Config.size_kb * 1024 / cfg.Config.line_bytes in
+  for i = 0 to (4 * l1_lines) - 1 do
+    ignore (Cache.access caches ~core:0 ~addr:(0x100000 + (i * 64)) ~now:(i * 10))
+  done;
+  let r = Cache.access caches ~core:0 ~addr:0x100000 ~now:10_000_000 in
+  Alcotest.(check bool) "evicted from L1" true (r.Cache.level_hit > 1)
+
+let test_cache_private_l1 () =
+  let cfg = { Config.default with Config.n_cores = 2 } in
+  let caches = Cache.create cfg in
+  ignore (Cache.access caches ~core:0 ~addr:0x30000 ~now:0);
+  let r = Cache.access caches ~core:1 ~addr:0x30000 ~now:100 in
+  Alcotest.(check int) "other core misses L1, hits shared L3" 3 r.Cache.level_hit
+
+let test_prefetch_hides_latency () =
+  let caches = Cache.create Config.default in
+  Cache.prefetch caches ~core:0 ~addr:0x40000 ~now:0;
+  (* Demand access long after the prefetch completes: full L1 hit. *)
+  let r = Cache.access caches ~core:0 ~addr:0x40000 ~now:1000 in
+  Alcotest.(check int) "prefetched line is an L1 hit" 1 r.Cache.level_hit;
+  Alcotest.(check int) "L1 latency after prefetch" 4 r.Cache.latency
+
+let test_prefetch_partial_overlap () =
+  let caches = Cache.create Config.default in
+  Cache.prefetch caches ~core:0 ~addr:0x50000 ~now:0;
+  (* Demand access right after: pays the residual latency, not the full miss. *)
+  let r = Cache.access caches ~core:0 ~addr:0x50000 ~now:10 in
+  Alcotest.(check bool) "residual latency < full DRAM latency" true
+    (r.Cache.latency < Config.default.Config.dram_latency);
+  Alcotest.(check bool) "residual latency > L1 hit" true (r.Cache.latency > 4)
+
+let test_dram_bandwidth_queueing () =
+  let cfg = { Config.default with Config.dram_controllers = 1 } in
+  let caches = Cache.create cfg in
+  (* Many simultaneous misses to distinct lines: later ones queue. *)
+  let lats =
+    List.init 16 (fun i ->
+        (Cache.access caches ~core:0 ~addr:(0x900000 + (i * 2 * 64)) ~now:0).Cache.latency)
+  in
+  let first = List.hd lats and last = List.nth lats 15 in
+  Alcotest.(check bool) "bandwidth queueing delays later misses" true (last > first)
+
+(* --- branch predictor --- *)
+
+let test_predictor_learns_loop () =
+  let p = Predictor.create ~entries:1024 ~history_bits:8 ~n_threads:1 in
+  (* A loop branch: taken 99 times, then not taken. *)
+  for _ = 1 to 99 do
+    ignore (Predictor.predict_update p ~thread:0 ~pc:42 ~taken:true)
+  done;
+  let correct = Predictor.predict_update p ~thread:0 ~pc:42 ~taken:false in
+  Alcotest.(check bool) "loop exit mispredicts" false correct;
+  Alcotest.(check bool) "low overall mispredict rate" true
+    (Predictor.mispredict_rate p < 0.1)
+
+let test_predictor_random_hurts () =
+  let p = Predictor.create ~entries:1024 ~history_bits:8 ~n_threads:1 in
+  let rng = Phloem_util.Prng.create 7 in
+  for _ = 1 to 2000 do
+    ignore (Predictor.predict_update p ~thread:0 ~pc:99 ~taken:(Phloem_util.Prng.bool rng))
+  done;
+  Alcotest.(check bool) "random branches mispredict often" true
+    (Predictor.mispredict_rate p > 0.3)
+
+(* --- end-to-end timing sanity --- *)
+
+let make_indirect_workload n =
+  (* The paper's intro kernel: for i: if (A[i] > 0) work(B[A[i]]).
+     A contains indices into a large B, alternating sign to defeat the
+     branch predictor. *)
+  let rng = Phloem_util.Prng.create 11 in
+  let bsize = 1 lsl 16 in
+  let a =
+    Array.init n (fun _ ->
+        let idx = Phloem_util.Prng.int rng bsize in
+        if Phloem_util.Prng.bool rng then idx else -idx - 1)
+  in
+  let b = Array.init bsize (fun i -> i land 0xFF) in
+  (a, b, bsize)
+
+let serial_intro n =
+  let a, b, bsize = make_indirect_workload n in
+  let p =
+    serial "intro_serial"
+      ~arrays:[ int_array "A" n; int_array "B" bsize; int_array "out" 1 ]
+      ~params:[ ("n", Types.Vint n) ]
+      ~call_costs:[ ("work", 10) ]
+      [
+        "acc" <-- int 0;
+        for_ "i" (int 0) (v "n")
+          [
+            "x" <-- load "A" (v "i");
+            when_ (v "x" >! int 0)
+              [ "acc" <-- (v "acc" +! call "work" [ load "B" (v "x") ]) ];
+          ];
+        store "out" (int 0) (v "acc");
+      ]
+  in
+  (p, [ ("A", vint_array a); ("B", vint_array b) ])
+
+let pipelined_intro n =
+  let a, b, bsize = make_indirect_workload n in
+  let p =
+    pipeline "intro_pipe"
+      ~arrays:[ int_array "A" n; int_array "B" bsize; int_array "out" 1 ]
+      ~params:[ ("n", Types.Vint n) ]
+      ~call_costs:[ ("work", 10) ]
+      ~queues:[ queue 0; queue 1 ]
+      ~ras:[ ra ~id:0 ~in_q:0 ~out_q:1 ~array:"B" ~mode:Types.Ra_indirect ]
+      [
+        stage "fetch_filter"
+          [
+            for_ "i" (int 0) (v "n")
+              [
+                "x" <-- load "A" (v "i");
+                when_ (v "x" >! int 0) [ enq 0 (v "x") ];
+              ];
+            enq_ctrl 0 1;
+          ];
+        stage "work"
+          ~handlers:[ handler ~queue:1 ~cv:"c" [ exit_loops 1 ] ]
+          [
+            "acc" <-- int 0;
+            loop_forever [ "acc" <-- (v "acc" +! call "work" [ deq 1 ]) ];
+            store "out" (int 0) (v "acc");
+          ];
+      ]
+  in
+  (p, [ ("A", vint_array a); ("B", vint_array b) ])
+
+let test_pipeline_beats_serial () =
+  let n = 3000 in
+  let ps, is_ = serial_intro n in
+  let pp, ip = pipelined_intro n in
+  let rs = Sim.run ~inputs:is_ ps in
+  let rp = Sim.run ~inputs:ip pp in
+  (* Same architectural result... *)
+  let out r = List.assoc "out" r.Sim.sr_functional.Interp.r_arrays in
+  Alcotest.(check bool) "same result" true (out rs = out rp);
+  (* ...but the pipeline hides latency and mispredicts. *)
+  let speedup = float_of_int (Sim.cycles rs) /. float_of_int (Sim.cycles rp) in
+  if speedup <= 1.1 then
+    Alcotest.failf "expected pipeline speedup > 1.1, got %.2f (serial %d, pipe %d)"
+      speedup (Sim.cycles rs) (Sim.cycles rp)
+
+let test_serial_cycles_scale_linearly () =
+  let run n =
+    let p, inputs = serial_intro n in
+    Sim.cycles (Sim.run ~inputs p)
+  in
+  let c1 = run 500 and c2 = run 1000 in
+  let ratio = float_of_int c2 /. float_of_int c1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "roughly linear scaling (ratio %.2f)" ratio)
+    true
+    (ratio > 1.4 && ratio < 2.8)
+
+let test_queue_capacity_backpressure () =
+  (* A slow consumer must throttle a fast producer via queue capacity. *)
+  let mk cap =
+    pipeline "bp"
+      ~params:[ ("n", Types.Vint 500) ]
+      ~queues:[ queue ~capacity:cap 0 ]
+      ~call_costs:[ ("slow", 40) ]
+      [
+        stage "prod" [ for_ "i" (int 0) (v "n") [ enq 0 (v "i") ] ];
+        stage "cons"
+          [ for_ "i" (int 0) (v "n") [ "x" <-- call "slow" [ deq 0 ] ] ];
+      ]
+  in
+  let r = Sim.run (mk 24) in
+  (* The producer spends most cycles queue-stalled. *)
+  let t = r.Sim.sr_timing in
+  Alcotest.(check bool) "queue stall cycles dominate producer" true
+    (t.Engine.queue_cycles > t.Engine.cycles / 4)
+
+let test_breakdown_sums_to_thread_cycles () =
+  let p, inputs = pipelined_intro 500 in
+  let r = Sim.run ~inputs p in
+  let t = r.Sim.sr_timing in
+  let total =
+    t.Engine.issue_cycles + t.Engine.backend_cycles + t.Engine.queue_cycles
+    + t.Engine.other_cycles
+  in
+  (* Each live thread is classified exactly once per cycle, so the sum is
+     bounded by threads x cycles. *)
+  Alcotest.(check bool) "breakdown bounded" true
+    (total <= t.Engine.n_threads * t.Engine.cycles);
+  Alcotest.(check bool) "breakdown non-trivial" true (total > t.Engine.cycles / 2)
+
+let test_smt_helps_independent_threads () =
+  (* Two independent compute loops on one core finish in less than 2x the
+     time of one, thanks to SMT sharing of issue slots. *)
+  let one =
+    pipeline "one"
+      ~params:[ ("n", Types.Vint 2000) ]
+      ~call_costs:[ ("f", 4) ]
+      [ stage "a" [ for_ "i" (int 0) (v "n") [ "x" <-- call "f" [ v "i" ] ] ] ]
+  in
+  let two =
+    pipeline "two"
+      ~params:[ ("n", Types.Vint 2000) ]
+      ~call_costs:[ ("f", 4) ]
+      [
+        stage "a" [ for_ "i" (int 0) (v "n") [ "x" <-- call "f" [ v "i" ] ] ];
+        stage "b" [ for_ "i" (int 0) (v "n") [ "x" <-- call "f" [ v "i" ] ] ];
+      ]
+  in
+  let c1 = Sim.cycles (Sim.run one) in
+  let c2 = Sim.cycles (Sim.run two) in
+  Alcotest.(check bool)
+    (Printf.sprintf "SMT overlap (1 thread: %d, 2 threads: %d)" c1 c2)
+    true
+    (float_of_int c2 < 1.7 *. float_of_int c1)
+
+let test_energy_positive_and_consistent () =
+  let p, inputs = serial_intro 300 in
+  let r = Sim.run ~inputs p in
+  let e = r.Sim.sr_energy in
+  Alcotest.(check bool) "components positive" true
+    (e.Energy.e_core_dynamic > 0.0 && e.Energy.e_memory > 0.0 && e.Energy.e_static > 0.0);
+  Alcotest.(check bool) "total is the sum" true
+    (abs_float
+       (Energy.total e
+       -. (e.Energy.e_core_dynamic +. e.Energy.e_memory +. e.Energy.e_queues_ras
+         +. e.Energy.e_static))
+    < 1e-9)
+
+(* qcheck: the engine terminates and cycle counts are sane for random
+   producer/consumer pipelines. *)
+let prop_engine_terminates =
+  QCheck.Test.make ~count:30 ~name:"engine terminates; cycles >= critical path"
+    QCheck.(pair (int_range 1 200) (int_range 1 23))
+    (fun (n, cap) ->
+      let p =
+        pipeline "rand"
+          ~params:[ ("n", Types.Vint n) ]
+          ~queues:[ queue ~capacity:cap 0 ]
+          [
+            stage "prod" [ for_ "i" (int 0) (v "n") [ enq 0 (v "i" *! int 3) ] ];
+            stage "cons" [ for_ "i" (int 0) (v "n") [ "x" <-- (deq 0 +! int 1) ] ];
+          ]
+      in
+      let r = Sim.run p in
+      Sim.cycles r > 0 && Sim.cycles r >= n / 6)
+
+let suite_cache =
+  [
+    Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
+    Alcotest.test_case "same line" `Quick test_cache_same_line;
+    Alcotest.test_case "capacity eviction" `Quick test_cache_capacity_eviction;
+    Alcotest.test_case "private L1 per core" `Quick test_cache_private_l1;
+    Alcotest.test_case "prefetch hides latency" `Quick test_prefetch_hides_latency;
+    Alcotest.test_case "prefetch partial overlap" `Quick test_prefetch_partial_overlap;
+    Alcotest.test_case "dram bandwidth queueing" `Quick test_dram_bandwidth_queueing;
+  ]
+
+let suite_predictor =
+  [
+    Alcotest.test_case "learns loop branches" `Quick test_predictor_learns_loop;
+    Alcotest.test_case "random branches hurt" `Quick test_predictor_random_hurts;
+  ]
+
+let suite_engine =
+  [
+    Alcotest.test_case "pipeline beats serial" `Quick test_pipeline_beats_serial;
+    Alcotest.test_case "serial cycles scale linearly" `Quick test_serial_cycles_scale_linearly;
+    Alcotest.test_case "queue capacity backpressure" `Quick test_queue_capacity_backpressure;
+    Alcotest.test_case "breakdown bounded" `Quick test_breakdown_sums_to_thread_cycles;
+    Alcotest.test_case "SMT helps independent threads" `Quick test_smt_helps_independent_threads;
+    Alcotest.test_case "energy consistent" `Quick test_energy_positive_and_consistent;
+    QCheck_alcotest.to_alcotest prop_engine_terminates;
+  ]
+
+let () =
+  Alcotest.run "pipette"
+    [ ("cache", suite_cache); ("predictor", suite_predictor); ("engine", suite_engine) ]

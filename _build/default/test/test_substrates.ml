@@ -1,0 +1,218 @@
+(* Tests for the graph/sparse substrates: CSR invariants, generators,
+   reference algorithms, matrices, kernels, and taco_lite codegen. *)
+
+module G = Phloem_graph
+module S = Phloem_sparse
+
+(* --- CSR graphs --- *)
+
+let test_csr_of_edge_list () =
+  let g = G.Csr.of_edge_list ~n:4 [ (0, 1); (0, 2); (1, 3); (3, 0) ] in
+  Alcotest.(check int) "m" 4 g.G.Csr.m;
+  Alcotest.(check int) "deg 0" 2 (G.Csr.degree g 0);
+  Alcotest.(check int) "deg 2" 0 (G.Csr.degree g 2);
+  let nghs = ref [] in
+  G.Csr.iter_neighbors g 0 (fun u -> nghs := u :: !nghs);
+  Alcotest.(check (list int)) "sorted neighbors" [ 1; 2 ] (List.rev !nghs)
+
+let test_csr_rejects_bad_edges () =
+  match G.Csr.of_edge_list ~n:2 [ (0, 5) ] with
+  | _ -> Alcotest.fail "expected Malformed"
+  | exception G.Csr.Malformed _ -> ()
+
+let test_symmetrize () =
+  let g = G.Csr.of_edge_list ~n:3 [ (0, 1); (1, 2) ] in
+  let s = G.Csr.symmetrize g in
+  Alcotest.(check int) "edges doubled" 4 s.G.Csr.m;
+  let has u v =
+    let found = ref false in
+    G.Csr.iter_neighbors s u (fun x -> if x = v then found := true);
+    !found
+  in
+  Alcotest.(check bool) "reverse edge" true (has 1 0 && has 2 1)
+
+let prop_generators_wellformed =
+  QCheck.Test.make ~count:20 ~name:"generated graphs are well-formed CSR"
+    QCheck.(int_range 0 2)
+    (fun kind ->
+      let g =
+        match kind with
+        | 0 -> G.Gen.grid ~width:9 ~height:7 ~seed:3
+        | 1 -> G.Gen.rmat ~scale:7 ~edge_factor:3 ~seed:4
+        | _ -> G.Gen.uniform ~n:100 ~avg_degree:4 ~seed:5
+      in
+      G.Csr.check g;
+      true)
+
+(* --- reference algorithms --- *)
+
+let path_graph n =
+  G.Csr.of_edge_list ~n
+    (List.concat (List.init (n - 1) (fun i -> [ (i, i + 1); (i + 1, i) ])))
+
+let test_bfs_path () =
+  let g = path_graph 6 in
+  let d = G.Algos.bfs g ~root:0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4; 5 |] d
+
+let test_bfs_unreachable () =
+  let g = G.Csr.of_edge_list ~n:3 [ (0, 1); (1, 0) ] in
+  let d = G.Algos.bfs g ~root:0 in
+  Alcotest.(check int) "unreachable" G.Algos.int_max d.(2)
+
+let test_cc_components () =
+  let g = G.Csr.of_edge_list ~n:5 [ (0, 1); (1, 0); (3, 4); (4, 3) ] in
+  let l = G.Algos.connected_components g in
+  Alcotest.(check (array int)) "labels" [| 0; 0; 2; 3; 3 |] l
+
+let test_pagerank_delta_sums () =
+  let g = G.Gen.grid ~width:6 ~height:5 ~seed:1 in
+  let r = G.Algos.pagerank_delta g ~iters:5 ~damping:0.85 ~eps:0.0001 in
+  Alcotest.(check bool) "all positive" true (Array.for_all (fun x -> x > 0.0) r)
+
+let test_radii_path () =
+  let g = path_graph 7 in
+  let radii, est = G.Algos.radii_from_roots g ~roots:[| 0 |] in
+  Alcotest.(check int) "estimate = path length" 6 est;
+  Alcotest.(check int) "far end radius" 6 radii.(6)
+
+let prop_bfs_triangle_inequality =
+  QCheck.Test.make ~count:20 ~name:"bfs: neighbors differ by at most 1"
+    QCheck.(int_range 2 30)
+    (fun seed ->
+      let g = G.Gen.uniform ~n:60 ~avg_degree:4 ~seed in
+      let d = G.Algos.bfs g ~root:0 in
+      let ok = ref true in
+      for v = 0 to g.G.Csr.n - 1 do
+        if d.(v) < G.Algos.int_max then
+          G.Csr.iter_neighbors g v (fun u ->
+              if d.(u) > d.(v) + 1 then ok := false)
+      done;
+      !ok)
+
+(* --- sparse matrices --- *)
+
+let test_matrix_of_triples_dedup () =
+  let m = S.Csr_matrix.of_triples ~rows:2 ~cols:3 [ (0, 1, 1.0); (0, 1, 2.0); (1, 0, 4.0) ] in
+  Alcotest.(check int) "duplicates collapse" 2 m.S.Csr_matrix.nnz;
+  Alcotest.(check (float 1e-9)) "summed" 3.0 m.S.Csr_matrix.vals.(0)
+
+let test_transpose_involution () =
+  let m = S.Gen.random ~rows:20 ~cols:15 ~nnz_per_row:3 ~seed:9 in
+  let tt = S.Csr_matrix.transpose (S.Csr_matrix.transpose m) in
+  Alcotest.(check bool) "transpose twice = identity" true
+    (tt.S.Csr_matrix.row_ptr = m.S.Csr_matrix.row_ptr
+    && tt.S.Csr_matrix.col_idx = m.S.Csr_matrix.col_idx
+    && tt.S.Csr_matrix.vals = m.S.Csr_matrix.vals)
+
+let test_spmv_identity () =
+  let n = 5 in
+  let eye = S.Csr_matrix.of_triples ~rows:n ~cols:n (List.init n (fun i -> (i, i, 1.0))) in
+  let x = Array.init n float_of_int in
+  Alcotest.(check (array (float 1e-9))) "Ix = x" x (S.Kernels.spmv eye x)
+
+let test_merge_intersect () =
+  let idx1 = [| 1; 3; 5; 9 |] and val1 = [| 1.0; 1.0; 1.0; 1.0 |] in
+  let idx2 = [| 3; 4; 9 |] and val2 = [| 2.0; 2.0; 2.0 |] in
+  let dot =
+    S.Kernels.merge_intersect_dot ~idx1 ~val1 ~lo1:0 ~hi1:4 ~idx2 ~val2 ~lo2:0 ~hi2:3
+  in
+  Alcotest.(check (float 1e-9)) "two matches" 4.0 dot
+
+let test_spmm_vs_dense () =
+  let a = S.Gen.random ~rows:8 ~cols:8 ~nnz_per_row:3 ~seed:21 in
+  let b = S.Gen.random ~rows:8 ~cols:8 ~nnz_per_row:3 ~seed:22 in
+  let c = S.Kernels.spmm_inner a (S.Csr_matrix.transpose b) in
+  (* dense check *)
+  let dense m =
+    let d = Array.make_matrix m.S.Csr_matrix.rows m.S.Csr_matrix.cols 0.0 in
+    for r = 0 to m.S.Csr_matrix.rows - 1 do
+      for e = m.S.Csr_matrix.row_ptr.(r) to m.S.Csr_matrix.row_ptr.(r + 1) - 1 do
+        d.(r).(m.S.Csr_matrix.col_idx.(e)) <- d.(r).(m.S.Csr_matrix.col_idx.(e)) +. m.S.Csr_matrix.vals.(e)
+      done
+    done;
+    d
+  in
+  let da = dense a and db = dense b in
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      let expect = ref 0.0 in
+      for k = 0 to 7 do
+        expect := !expect +. (da.(i).(k) *. db.(k).(j))
+      done;
+      Alcotest.(check (float 1e-6)) "C(i,j)" !expect c.(i).(j)
+    done
+  done
+
+(* --- taco_lite --- *)
+
+let test_taco_parse () =
+  let a = Phloem_taco.Taco.parse "y(i) = alpha * A(j,i) * x(j) + beta * z(i)" in
+  Alcotest.(check int) "two terms" 2 (List.length a.Phloem_taco.Taco.terms);
+  Alcotest.(check string) "lhs" "y" a.Phloem_taco.Taco.lhs.Phloem_taco.Taco.tensor
+
+let test_taco_parse_minus () =
+  let a = Phloem_taco.Taco.parse "y(i) = b(i) - A(i,j) * x(j)" in
+  match a.Phloem_taco.Taco.terms with
+  | [ t1; t2 ] ->
+    Alcotest.(check (float 0.0)) "first +" 1.0 t1.Phloem_taco.Taco.sign;
+    Alcotest.(check (float 0.0)) "second -" (-1.0) t2.Phloem_taco.Taco.sign
+  | _ -> Alcotest.fail "two terms expected"
+
+let test_taco_codegen_compiles () =
+  List.iter
+    (fun kind ->
+      let m = S.Gen.random ~rows:20 ~cols:20 ~nnz_per_row:3 ~seed:33 in
+      let b = Phloem_workloads.Taco_kernels.bind kind m in
+      let p, inputs = b.Phloem_workloads.Workload.b_serial in
+      let r = Pipette.Sim.run ~inputs p in
+      Alcotest.(check bool)
+        (Phloem_workloads.Taco_kernels.name_of kind ^ " matches reference")
+        true
+        (Phloem_workloads.Workload.check b r.Pipette.Sim.sr_functional))
+    [
+      Phloem_workloads.Taco_kernels.Spmv;
+      Phloem_workloads.Taco_kernels.Residual;
+      Phloem_workloads.Taco_kernels.Mtmul;
+      Phloem_workloads.Taco_kernels.Sddmm;
+    ]
+
+let test_taco_error () =
+  match Phloem_taco.Taco.parse "y(i) = " with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Phloem_taco.Taco.Error _ -> ()
+
+let suite_graph =
+  [
+    Alcotest.test_case "csr of edge list" `Quick test_csr_of_edge_list;
+    Alcotest.test_case "csr rejects bad edges" `Quick test_csr_rejects_bad_edges;
+    Alcotest.test_case "symmetrize" `Quick test_symmetrize;
+    QCheck_alcotest.to_alcotest prop_generators_wellformed;
+    Alcotest.test_case "bfs path" `Quick test_bfs_path;
+    Alcotest.test_case "bfs unreachable" `Quick test_bfs_unreachable;
+    Alcotest.test_case "cc components" `Quick test_cc_components;
+    Alcotest.test_case "pagerank-delta positive" `Quick test_pagerank_delta_sums;
+    Alcotest.test_case "radii on path" `Quick test_radii_path;
+    QCheck_alcotest.to_alcotest prop_bfs_triangle_inequality;
+  ]
+
+let suite_sparse =
+  [
+    Alcotest.test_case "triples dedup" `Quick test_matrix_of_triples_dedup;
+    Alcotest.test_case "transpose involution" `Quick test_transpose_involution;
+    Alcotest.test_case "spmv identity" `Quick test_spmv_identity;
+    Alcotest.test_case "merge-intersect" `Quick test_merge_intersect;
+    Alcotest.test_case "spmm vs dense" `Quick test_spmm_vs_dense;
+  ]
+
+let suite_taco =
+  [
+    Alcotest.test_case "parse expression" `Quick test_taco_parse;
+    Alcotest.test_case "parse signs" `Quick test_taco_parse_minus;
+    Alcotest.test_case "codegen all four kernels" `Quick test_taco_codegen_compiles;
+    Alcotest.test_case "parse error" `Quick test_taco_error;
+  ]
+
+let () =
+  Alcotest.run "substrates"
+    [ ("graph", suite_graph); ("sparse", suite_sparse); ("taco", suite_taco) ]

@@ -1,0 +1,123 @@
+(* Tests for the utility substrate: vectors, heap, PRNG, stats, tables. *)
+
+open Phloem_util
+
+let test_vec_growth () =
+  let v = Vec.create ~dummy:0 () in
+  for i = 0 to 999 do
+    Vec.push v (i * 2)
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.length v);
+  Alcotest.(check int) "get" 998 (Vec.get v 499);
+  Vec.set v 499 7;
+  Alcotest.(check int) "set" 7 (Vec.get v 499);
+  Alcotest.(check int) "last" 1998 (Vec.last v);
+  Alcotest.(check int) "fold" (List.init 1000 (fun i -> i * 2) |> List.fold_left ( + ) 0 |> fun s -> s - 998 + 7)
+    (Vec.fold_left ( + ) 0 v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 3))
+
+let test_int_vec () =
+  let v = Vec.Int_vec.create () in
+  for i = 0 to 99 do
+    Vec.Int_vec.push v i
+  done;
+  Alcotest.(check int) "sum" 4950 (Vec.Int_vec.fold_left ( + ) 0 v);
+  Alcotest.(check (array int)) "to_array" (Array.init 100 Fun.id) (Vec.Int_vec.to_array v)
+
+let test_heap_sorts () =
+  let h = Heap.create () in
+  let rng = Prng.create 99 in
+  let input = List.init 500 (fun _ -> Prng.int rng 10_000) in
+  List.iter (Heap.push h) input;
+  let out = List.init 500 (fun _ -> Heap.pop h) in
+  Alcotest.(check (list int)) "heap pops sorted" (List.sort compare input) out;
+  Alcotest.(check bool) "empty after" true (Heap.is_empty h)
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Heap.pop") (fun () ->
+      ignore (Heap.pop h))
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17);
+    let f = Prng.float rng 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 5 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  Alcotest.(check (list int)) "same multiset" (List.init 50 Fun.id)
+    (List.sort compare (Array.to_list a))
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "gmean" 2.0 (Stats.gmean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "min_max" (1.0, 4.0)
+    (Stats.min_max [ 2.0; 1.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "median" 2.0 (Stats.percentile 0.5 [ 3.0; 1.0; 2.0 ]);
+  Alcotest.check_raises "gmean rejects <= 0"
+    (Invalid_argument "Stats.gmean: non-positive element") (fun () ->
+      ignore (Stats.gmean [ 1.0; 0.0 ]))
+
+let test_table_render () =
+  let t = Table.create [ "A"; "Bench" ] in
+  Table.add_row t [ "1"; "x" ];
+  Table.add_row t [ "22"; "yy" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "header present" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: rule :: _ ->
+    Alcotest.(check int) "aligned" (String.length header) (String.length rule)
+  | _ -> Alcotest.fail "too few lines");
+  Alcotest.check_raises "row width" (Invalid_argument "Table.add_row: row width mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let prop_heap_min =
+  QCheck.Test.make ~count:100 ~name:"heap min is list min"
+    QCheck.(list_of_size Gen.(int_range 1 50) int)
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (Heap.push h) xs;
+      Heap.min h = List.fold_left min (List.hd xs) xs)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~count:100 ~name:"percentile within min/max"
+    QCheck.(pair (list_of_size Gen.(int_range 1 30) (float_range 0.0 100.0)) (float_range 0.0 1.0))
+    (fun (xs, p) ->
+      let v = Stats.percentile p xs in
+      let lo, hi = Stats.min_max xs in
+      v >= lo && v <= hi)
+
+let suite =
+  [
+    Alcotest.test_case "vec growth" `Quick test_vec_growth;
+    Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+    Alcotest.test_case "int vec" `Quick test_int_vec;
+    Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
+    Alcotest.test_case "heap empty" `Quick test_heap_empty;
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    QCheck_alcotest.to_alcotest prop_heap_min;
+    QCheck_alcotest.to_alcotest prop_percentile_bounds;
+  ]
+
+let () = Alcotest.run "phloem_util" [ ("util", suite) ]

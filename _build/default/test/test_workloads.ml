@@ -1,0 +1,146 @@
+(* Integration tests: every benchmark x variant on small inputs computes the
+   reference result; replicated pipelines validate on 4 cores. These are the
+   end-to-end guarantees behind the evaluation harness. *)
+
+open Phloem_workloads
+
+let check_variant (b : Workload.bound) ~what (p, inputs) ?thread_core ?cfg () =
+  let cfg = match cfg with Some c -> c | None -> Pipette.Config.default in
+  match Pipette.Sim.run ~cfg ?thread_core ~inputs p with
+  | exception e -> Alcotest.failf "%s/%s raised %s" b.Workload.b_name what (Printexc.to_string e)
+  | r ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s/%s matches reference" b.Workload.b_name what)
+      true
+      (Workload.check b r.Pipette.Sim.sr_functional);
+    Pipette.Sim.cycles r
+
+let exercise (b : Workload.bound) =
+  let serial_cycles = check_variant b ~what:"serial" b.Workload.b_serial () in
+  let phloem =
+    match Phloem.Compile.static_flow ~stages:4 (fst b.Workload.b_serial) with
+    | p -> Some (check_variant b ~what:"phloem" (p, snd b.Workload.b_serial) ())
+    | exception Phloem.Compile.Unsupported _ -> None
+  in
+  let _dp = check_variant b ~what:"data-parallel" (b.Workload.b_data_parallel ~threads:4) () in
+  (match b.Workload.b_manual with
+  | Some mp -> ignore (check_variant b ~what:"manual" mp ())
+  | None -> ());
+  (serial_cycles, phloem)
+
+let grid () = Phloem_graph.Gen.grid ~width:14 ~height:10 ~seed:3
+let powerlaw () = Phloem_graph.Gen.rmat ~scale:7 ~edge_factor:3 ~seed:4
+
+let test_bfs () =
+  ignore (exercise (Bfs.bind (grid ())));
+  ignore (exercise (Bfs.bind (powerlaw ())))
+
+let test_bfs_phloem_speedup () =
+  (* on a large enough road network, the pipeline must win clearly *)
+  let g = Phloem_graph.Gen.grid ~width:60 ~height:50 ~seed:11 in
+  let serial_cycles, phloem = exercise (Bfs.bind g) in
+  match phloem with
+  | Some pc ->
+    let speedup = float_of_int serial_cycles /. float_of_int pc in
+    Alcotest.(check bool)
+      (Printf.sprintf "BFS speedup %.2f > 1.3" speedup)
+      true (speedup > 1.3)
+  | None -> Alcotest.fail "BFS must decouple"
+
+let test_cc () = ignore (exercise (Cc.bind (grid ())))
+let test_prd () = ignore (exercise (Prd.bind (grid ())))
+let test_radii () = ignore (exercise (Radii.bind (grid ())))
+
+let test_spmm () =
+  let a = Phloem_sparse.Gen.random ~rows:24 ~cols:24 ~nnz_per_row:3 ~seed:41 in
+  let bt = Phloem_sparse.Gen.random ~rows:24 ~cols:24 ~nnz_per_row:3 ~seed:42 in
+  ignore (exercise (Spmm.bind a bt))
+
+let test_taco_all () =
+  let m = Phloem_sparse.Gen.banded ~n:30 ~bandwidth:6 ~nnz_per_row:4 ~seed:43 in
+  List.iter
+    (fun k -> ignore (exercise (Taco_kernels.bind k m)))
+    [ Taco_kernels.Spmv; Taco_kernels.Residual; Taco_kernels.Mtmul; Taco_kernels.Sddmm ]
+
+(* --- replicated pipelines (Fig. 14 machinery) --- *)
+
+let cfg4 = Pipette.Config.four_cores
+
+let test_replicated_bfs () =
+  let g = grid () in
+  let p, inputs, tc = Replicated.bfs g ~replicas:4 in
+  let r = Pipette.Sim.run ~cfg:cfg4 ~thread_core:tc ~inputs p in
+  Alcotest.(check bool) "distances" true
+    (List.assoc "dist" r.Pipette.Sim.sr_functional.Phloem_ir.Interp.r_arrays
+    = Workload.vint (Phloem_graph.Algos.bfs g ~root:0))
+
+let test_replicated_cc () =
+  let g = powerlaw () in
+  let p, inputs, tc = Replicated.cc g ~replicas:4 in
+  let r = Pipette.Sim.run ~cfg:cfg4 ~thread_core:tc ~inputs p in
+  Alcotest.(check bool) "labels" true
+    (List.assoc "labels" r.Pipette.Sim.sr_functional.Phloem_ir.Interp.r_arrays
+    = Workload.vint (Phloem_graph.Algos.connected_components g))
+
+let test_replicated_radii () =
+  let g = grid () in
+  let p, inputs, tc, _ = Replicated.radii g ~replicas:4 in
+  let r = Pipette.Sim.run ~cfg:cfg4 ~thread_core:tc ~inputs p in
+  let combined =
+    Replicated.radii_combined r.Pipette.Sim.sr_functional ~replicas:4 ~n:g.Phloem_graph.Csr.n
+  in
+  let reference, _ = Phloem_graph.Algos.radii_from_roots g ~roots:(Radii.roots g) in
+  Alcotest.(check (array int)) "radii max-combined" reference combined
+
+let test_replicated_prd () =
+  let g = grid () in
+  let p, inputs, tc = Replicated.prd g ~replicas:4 in
+  let r = Pipette.Sim.run ~cfg:cfg4 ~thread_core:tc ~inputs p in
+  let got = List.assoc "rank" r.Pipette.Sim.sr_functional.Phloem_ir.Interp.r_arrays in
+  let want =
+    Workload.vfloat
+      (Phloem_graph.Algos.pagerank_delta g ~iters:Prd.iters ~damping:Prd.damping
+         ~eps:Prd.eps)
+  in
+  Alcotest.(check bool) "rank within tolerance" true (Workload.values_close ~tol:1e-6 got want)
+
+let test_replicated_bfs_speedup () =
+  let g = Phloem_graph.Gen.grid ~width:60 ~height:50 ~seed:11 in
+  let b = Bfs.bind g in
+  let sp, si = b.Workload.b_serial in
+  let sc = Pipette.Sim.cycles (Pipette.Sim.run ~inputs:si sp) in
+  let p, inputs, tc = Replicated.bfs g ~replicas:4 in
+  let rc = Pipette.Sim.cycles (Pipette.Sim.run ~cfg:cfg4 ~thread_core:tc ~inputs p) in
+  let speedup = float_of_int sc /. float_of_int rc in
+  Alcotest.(check bool)
+    (Printf.sprintf "4-core replicated speedup %.2f > 1-core phloem" speedup)
+    true (speedup > 1.5)
+
+let prop_dp_threads_agree =
+  QCheck.Test.make ~count:6 ~name:"data-parallel BFS agrees for any thread count"
+    QCheck.(int_range 1 4)
+    (fun threads ->
+      let g = grid () in
+      let b = Bfs.bind g in
+      let p, inputs = b.Workload.b_data_parallel ~threads in
+      let r = Pipette.Sim.run ~inputs p in
+      Workload.check b r.Pipette.Sim.sr_functional)
+
+let suite =
+  [
+    Alcotest.test_case "BFS all variants" `Quick test_bfs;
+    Alcotest.test_case "BFS phloem speedup" `Quick test_bfs_phloem_speedup;
+    Alcotest.test_case "CC all variants" `Quick test_cc;
+    Alcotest.test_case "PRD all variants" `Quick test_prd;
+    Alcotest.test_case "Radii all variants" `Quick test_radii;
+    Alcotest.test_case "SpMM all variants" `Quick test_spmm;
+    Alcotest.test_case "Taco kernels all variants" `Quick test_taco_all;
+    Alcotest.test_case "replicated BFS" `Quick test_replicated_bfs;
+    Alcotest.test_case "replicated CC" `Quick test_replicated_cc;
+    Alcotest.test_case "replicated Radii" `Quick test_replicated_radii;
+    Alcotest.test_case "replicated PRD" `Quick test_replicated_prd;
+    Alcotest.test_case "replicated BFS speedup" `Quick test_replicated_bfs_speedup;
+    QCheck_alcotest.to_alcotest prop_dp_threads_agree;
+  ]
+
+let () = Alcotest.run "workloads" [ ("workloads", suite) ]
