@@ -3,11 +3,25 @@
    Reads a minic source file containing a [#pragma phloem] kernel, runs the
    decoupling-point cost model and the pass pipeline, and prints the
    resulting pipeline-parallel program. Because array extents are part of
-   the IR, array parameters are bound to placeholder lengths (--length). *)
+   the IR, array parameters are bound to placeholder lengths (--length).
+
+   Pass-manager introspection: [--time-passes] prints per-pass wall time and
+   op-count deltas, [--verify-each] re-validates the IR after every pass,
+   [--dump-ir[=DIR]] writes numbered IR snapshots, [--print-pipeline] lists
+   the registered passes the current flags select. *)
 
 open Cmdliner
+module Log = Phloem_util.Log
 
-let compile_cmd src_file stages length list_cuts flags_off =
+let compile_cmd src_file stages length list_cuts flags_off time_passes verify_each
+    dump_ir print_pipeline log_level =
+  (match Option.bind log_level Log.level_of_string with
+  | Some l -> Log.set_level l
+  | None ->
+    (match log_level with
+    | Some bad ->
+      Printf.eprintf "phloemc: unknown log level %s (debug|info|warn|error)\n" bad
+    | None -> ()));
   let src = In_channel.with_open_text src_file In_channel.input_all in
   let lw = Phloem_minic.Lower.of_source src in
   let arrays =
@@ -50,19 +64,38 @@ let compile_cmd src_file stages length list_cuts flags_off =
         | "cv" -> { f with f_cv = false }
         | "handlers" -> { f with f_handlers = false }
         | "dce" -> { f with f_dce = false }
-        | other -> failwith ("unknown pass: " ^ other))
+        | other ->
+          Printf.eprintf
+            "phloemc: unknown pass %s (recompute|ra|cv|handlers|dce)\n" other;
+          exit 1)
       Phloem.Decouple.all_passes flags_off
   in
-  match Phloem.Compile.static_flow ~flags ~stages serial with
-  | p ->
+  if print_pipeline then begin
+    print_endline "Pass pipeline (in order):";
+    List.iter
+      (fun pass ->
+        Printf.printf "  %-12s %s\n" (Phloem.Pass.name_of pass)
+          (Phloem.Pass.describe_of pass))
+      (Phloem.Passes.standard ~flags)
+  end;
+  let options =
+    { Phloem.Pass.verify_each; dump_ir; keep_snapshots = false }
+  in
+  match Phloem.Compile.static_flow_report ~flags ~options ~stages serial with
+  | p, report ->
     print_endline (Phloem_ir.Printer.pipeline_to_string p);
     Printf.printf "\n;; %d stages, %d queues, %d reference accelerators\n"
       (List.length p.Phloem_ir.Types.p_stages)
       (List.length p.Phloem_ir.Types.p_queues)
       (List.length p.Phloem_ir.Types.p_ras);
+    if time_passes then print_endline (Phloem.Pass.report_to_string report);
+    Option.iter (Printf.printf ";; IR snapshots written to %s/\n") dump_ir;
     0
   | exception Phloem.Compile.Unsupported msg ->
     Printf.eprintf "phloemc: %s\n" msg;
+    1
+  | exception Phloem.Pass.Verify_failed (pass, msg) ->
+    Printf.eprintf "phloemc: verification failed after pass %s: %s\n" pass msg;
     1
 
 let src_arg =
@@ -83,9 +116,42 @@ let flags_off_arg =
     & info [ "disable" ]
         ~doc:"disable a pass: recompute, ra, cv, handlers, dce (repeatable)")
 
+let time_passes_arg =
+  Arg.(
+    value & flag
+    & info [ "time-passes" ] ~doc:"print per-pass wall time and op-count deltas")
+
+let verify_each_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-each" ]
+        ~doc:"re-validate the IR and check pass invariants after every pass")
+
+let dump_ir_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "phloem-ir") (some string) None
+    & info [ "dump-ir" ] ~docv:"DIR"
+        ~doc:"write numbered IR snapshots after every pass (default DIR: phloem-ir)")
+
+let print_pipeline_arg =
+  Arg.(
+    value & flag
+    & info [ "print-pipeline" ]
+        ~doc:"list the registered passes the current flags select")
+
+let log_level_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"diagnostics threshold: debug, info, warn (default), or error")
+
 let cmd =
   Cmd.v
     (Cmd.info "phloemc" ~doc:"compile a serial minic kernel into a Pipette pipeline")
-    Term.(const compile_cmd $ src_arg $ stages_arg $ length_arg $ list_cuts_arg $ flags_off_arg)
+    Term.(
+      const compile_cmd $ src_arg $ stages_arg $ length_arg $ list_cuts_arg
+      $ flags_off_arg $ time_passes_arg $ verify_each_arg $ dump_ir_arg
+      $ print_pipeline_arg $ log_level_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,31 @@
+/* CSR breadth-first search (paper Sec. II, Fig. 2), in minic.
+   Compile with: phloemc examples/kernels/bfs.c --time-passes --verify-each */
+#pragma phloem
+void bfs(int n, int root, int *restrict nodes, int *restrict edges,
+         int *restrict dist, int *restrict cur_fringe, int *restrict next_fringe,
+         int *restrict out) {
+int cur_size = 1;
+int cur_dist = 0;
+cur_fringe[0] = root;
+dist[root] = 0;
+while (cur_size > 0) {
+int next_size = 0;
+cur_dist = cur_dist + 1;
+for (int i = 0; i < cur_size; i++) {
+int v = cur_fringe[i];
+int edge_start = nodes[v];
+int edge_end = nodes[v + 1];
+for (int e = edge_start; e < edge_end; e++) {
+int ngh = edges[e];
+int old_dist = dist[ngh];
+if (cur_dist < old_dist) {
+dist[ngh] = cur_dist;
+next_fringe[next_size++] = ngh;
+}
+}
+}
+for (int i = 0; i < next_size; i++) { cur_fringe[i] = next_fringe[i]; }
+cur_size = next_size;
+}
+out[0] = cur_dist;
+}

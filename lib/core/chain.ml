@@ -146,7 +146,16 @@ let chain_step (p : pipeline) : pipeline option =
         (* no RA left to allocate *)
         try_stages (before @ [ st ]) after
       | Some (m, residual_body) ->
-        let residual = { st with s_body = residual_body } in
+        (* the extracted loop's control-value handler leaves with it: keep
+           only handlers guarding queues the residual body still dequeues *)
+        let residual =
+          let _, deqs = stage_queues { st with s_body = residual_body; s_handlers = [] } in
+          {
+            st with
+            s_body = residual_body;
+            s_handlers = List.filter (fun h -> List.mem h.h_queue deqs) st.s_handlers;
+          }
+        in
         (* Register the scan RA. *)
         let p' =
           match m.sm_body_kind with
@@ -245,6 +254,10 @@ let cleanup (p : pipeline) : pipeline =
   in
   go p
 
-let apply (p : pipeline) : pipeline =
+(* Scan-chaining alone (to a fixpoint), without the cleanup; registered as
+   its own pass so cleanup can run and be observed separately. *)
+let chain (p : pipeline) : pipeline =
   let rec go p = match chain_step p with Some p' -> go p' | None -> p in
-  cleanup (go p)
+  go p
+
+let apply (p : pipeline) : pipeline = cleanup (chain p)

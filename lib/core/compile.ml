@@ -3,7 +3,11 @@
    [static_flow] implements the static compilation mode (paper Fig. 8,
    upper right): pick the (n-1) highest-ranked decoupling points with the
    cost model and emit one pipeline. [with_cuts] compiles an explicit cut
-   selection (used by the profile-guided search in Search). *)
+   selection (used by the profile-guided search in Search). Both are thin
+   wrappers over [Pass.Manager] running the registered pass list from
+   [Passes.standard]; the [_report] variants expose the manager's per-pass
+   timing/op-count report and accept [Pass.options] for per-pass
+   verification and IR snapshots. *)
 
 open Phloem_ir.Types
 
@@ -16,25 +20,22 @@ let candidates (serial : pipeline) : Costmodel.cut list =
     Costmodel.candidates tree
   | _ -> invalid_arg "Compile.candidates: expected serial pipeline"
 
-let with_cuts ?(flags = Decouple.all_passes) (serial : pipeline)
-    (cuts : Costmodel.cut list) : pipeline =
-  let p = Decouple.split ~flags serial cuts in
-  let p =
-    if flags.Decouple.f_ra && flags.Decouple.f_dce then Chain.apply p
-    else Chain.cleanup p
-  in
-  if List.length p.p_queues > 16 then
-    Decouple.reject "pipeline uses %d queues (max 16)" (List.length p.p_queues);
-  if List.length p.p_ras > 4 then
-    Decouple.reject "pipeline uses %d RAs (max 4)" (List.length p.p_ras);
-  Phloem_ir.Validate.check p;
-  p
+let with_cuts_report ?(flags = Decouple.all_passes) ?(options = Pass.default_options)
+    (serial : pipeline) (cuts : Costmodel.cut list) : pipeline * Pass.report =
+  let manager = Pass.Manager.create ~options (Passes.standard ~flags) in
+  Pass.Manager.run manager { Pass.flags; cuts } serial
+
+let with_cuts ?flags ?options (serial : pipeline) (cuts : Costmodel.cut list) : pipeline
+    =
+  fst (with_cuts_report ?flags ?options serial cuts)
 
 (* Static mode: an n-stage pipeline from the top-ranked cost-model cuts.
    Cuts that make decoupling illegal (e.g. they would split a merge loop's
-   induction updates across stages) are skipped greedily, in rank order. *)
-let static_flow ?(flags = Decouple.all_passes) ?(stages = 4) (serial : pipeline) :
-    pipeline =
+   induction updates across stages) are skipped greedily, in rank order.
+   The greedy search compiles without instrumentation; the winning cut set
+   is recompiled once under the caller's [options] for the report. *)
+let static_flow_report ?(flags = Decouple.all_passes) ?(options = Pass.default_options)
+    ?(stages = 4) (serial : pipeline) : pipeline * Pass.report =
   match serial.p_stages with
   | [ st ] ->
     let tree, _ = Ktree.of_body (Normalize.body st.s_body) in
@@ -46,28 +47,37 @@ let static_flow ?(flags = Decouple.all_passes) ?(stages = 4) (serial : pipeline)
     in
     let try_compile cuts =
       match with_cuts ~flags serial (in_order cuts) with
-      | p -> Some p
-      | exception Decouple.Reject _ -> None
-      | exception Phloem_ir.Validate.Invalid _ -> None
+      | _ -> true
+      | exception Decouple.Reject _ -> false
+      | exception Phloem_ir.Validate.Invalid _ -> false
     in
-    let rec greedy chosen best = function
-      | [] -> best
+    let rec greedy chosen = function
+      | [] -> chosen
       | c :: rest ->
-        if List.length chosen >= stages - 1 then best
-        else (
-          match try_compile (c :: chosen) with
-          | Some p -> greedy (c :: chosen) (Some p) rest
-          | None -> greedy chosen best rest)
+        if List.length chosen >= stages - 1 then chosen
+        else if try_compile (c :: chosen) then greedy (c :: chosen) rest
+        else greedy chosen rest
     in
-    (match greedy [] None ranked with
-    | Some p -> p
-    | None -> Decouple.reject "no legal decoupling found")
+    (match greedy [] ranked with
+    | [] -> Decouple.reject "no legal decoupling found"
+    | chosen -> with_cuts_report ~flags ~options serial (in_order chosen))
   | _ -> invalid_arg "Compile.static_flow: expected serial pipeline"
 
+let static_flow ?flags ?options ?stages (serial : pipeline) : pipeline =
+  fst (static_flow_report ?flags ?options ?stages serial)
+
 (* Compile minic source text end to end (used by phloemc and tests). *)
-let from_minic_source ?(flags = Decouple.all_passes) ?(stages = 4) src
+let from_minic_source_report ?(flags = Decouple.all_passes)
+    ?(options = Pass.default_options) ?(stages = 4) src
     ~(arrays : (string * value array) list) ~(scalars : (string * value) list) :
-    pipeline * (string * value array) list =
+    pipeline * Pass.report * (string * value array) list =
   let lw = Phloem_minic.Lower.of_source src in
   let serial, inputs = Phloem_minic.Lower.to_serial_pipeline lw ~arrays ~scalars in
-  (static_flow ~flags ~stages serial, inputs)
+  let p, report = static_flow_report ~flags ~options ~stages serial in
+  (p, report, inputs)
+
+let from_minic_source ?flags ?options ?stages src
+    ~(arrays : (string * value array) list) ~(scalars : (string * value) list) :
+    pipeline * (string * value array) list =
+  let p, _, inputs = from_minic_source_report ?flags ?options ?stages src ~arrays ~scalars in
+  (p, inputs)

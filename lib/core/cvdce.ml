@@ -1,0 +1,248 @@
+(* Control-value conversion and inter-stage DCE for the decouple pass
+   (phase C, second half).
+
+   Consumer loops whose bounds are queued per iteration become while(true)
+   loops terminated by in-band control values (cv gate); control-value
+   levels downstream stages do not need are merged away, exit sites are
+   reconciled across stages, and conditionals whose payloads are enqueued
+   under the producer's condition are elided in consumers (dce gate). *)
+
+module K = Ktree
+module Ctx = Stage_assign
+module C = Commplan
+
+(* CV conversion: consumer loops become while(true) terminated by in-band
+   control values. Decided innermost-first so that an outer loop's primary
+   payload is a value the stage still receives. *)
+let convert_loops (ctx : Ctx.context) (d : C.decisions) =
+  if ctx.Ctx.flags.Pass.f_cv then begin
+    let rec post_order nodes =
+      List.iter
+        (fun node ->
+          (match node with
+          | K.Kif (_, _, _, t, f) ->
+            post_order t;
+            post_order f
+          | K.Kwhile (_, _, _, b) | K.Kfor (_, _, _, _, _, b) -> post_order b
+          | K.Kstmt _ -> ());
+          match node with
+          | K.Kfor (k, site, v, lo, hi, _) ->
+            let bound_vars = K.expr_uses (K.expr_uses [] lo) hi in
+            List.iter
+              (fun s ->
+                (* convert only loops whose bounds would need a queue *)
+                let nonlocal_bounds =
+                  List.exists (fun x -> C.consumed_by ctx d s x) bound_vars
+                in
+                (* induction var used by stage s? then keep the For *)
+                let v_used =
+                  match Hashtbl.find_opt d.C.d_uses v with
+                  | None -> false
+                  | Some uses ->
+                    List.exists (fun (s', o) -> s' = s && o = C.Ostmt) !uses
+                in
+                if nonlocal_bounds && not v_used then begin
+                  (* primary payload: the first value the stage still
+                     receives per iteration of this loop *)
+                  let primary =
+                    Hashtbl.fold
+                      (fun x _ best ->
+                        if C.still_consumed ctx d s x then
+                          match Ctx.channel_defs ctx x with
+                          | dk :: _
+                            when Ctx.innermost ctx dk = k && not (List.mem x bound_vars)
+                            -> (
+                            match best with
+                            | Some (bk, _) when bk <= dk -> best
+                            | _ -> Some (dk, x))
+                          | _ -> best
+                        else best)
+                      d.C.d_uses None
+                  in
+                  match primary with
+                  | Some (_, x) ->
+                    Hashtbl.replace d.C.d_converted (s, k) x;
+                    Hashtbl.replace d.C.d_exit_site (s, k) site
+                  | None -> ()
+                end)
+              (C.needs_of d k)
+          | K.Kstmt _ | K.Kif _ | K.Kwhile _ -> ())
+        nodes
+    in
+    post_order ctx.Ctx.tree
+  end
+
+(* DCE: merge converted loops upward through ancestors whose only content
+   (for this stage) is the converted loop and its dropped bounds. *)
+let merge_converted (ctx : Ctx.context) (d : C.decisions) =
+  if ctx.Ctx.flags.Pass.f_cv && ctx.Ctx.flags.Pass.f_dce then begin
+    let content_at s p ~excluding_loop:l =
+      (* any simple stmt of stage s, or def position consumed by s, whose
+         innermost loop is p and which is not inside l's subtree *)
+      let inside_l k = List.mem l (Hashtbl.find ctx.Ctx.parent_loops k) || k = l in
+      let found = ref false in
+      K.iter_list
+        (fun node ->
+          match node with
+          | K.Kstmt (k, stmt) when Ctx.innermost ctx k = p && not (inside_l k) -> (
+            if
+              (not !found)
+              && ctx.Ctx.stage_of.(k) = s
+              && not (Hashtbl.mem ctx.Ctx.replicated_keys k)
+            then found := true;
+            if not !found then
+              match K.stmt_def stmt with
+              | Some x ->
+                if C.consumed_by ctx d s x then begin
+                  (* a dropped bound of the converted loop doesn't count *)
+                  let is_dropped_bound =
+                    match ctx.Ctx.key_node.(l) with
+                    | Some (K.Kfor (_, _, _, lo, hi, _)) ->
+                      Hashtbl.mem d.C.d_converted (s, l)
+                      && List.mem x (K.expr_uses (K.expr_uses [] lo) hi)
+                    | _ -> false
+                  in
+                  if not is_dropped_bound then found := true
+                end
+              | None -> ())
+          | K.Kstmt _ | K.Kif _ | K.Kwhile _ | K.Kfor _ -> ())
+        ctx.Ctx.tree;
+      !found
+    in
+    let converted = Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.C.d_converted [] in
+    List.iter
+      (fun ((s, l), _primary) ->
+        (* walk up through Kfor ancestors *)
+        (* a barrier anywhere at the current level must fire once per
+           iteration of the parent, so it blocks merging upward *)
+        let barrier_at_level p cur =
+          Hashtbl.fold
+            (fun bk () acc -> acc || bk = cur || Ctx.innermost ctx bk = p)
+            d.C.d_barrier_before false
+        in
+        let rec up cur =
+          match Hashtbl.find ctx.Ctx.parent_loops cur with
+          | p :: _ -> (
+            match ctx.Ctx.key_node.(p) with
+            | Some (K.Kfor (_, psite, _, _, _, _))
+              when List.mem s (C.needs_of d p)
+                   && (not (content_at s p ~excluding_loop:cur))
+                   && not (barrier_at_level p cur) ->
+              Hashtbl.replace d.C.d_merged (s, p) ();
+              Hashtbl.replace d.C.d_exit_site (s, l) psite;
+              up p
+            | _ -> ())
+          | [] -> ()
+        in
+        up l)
+      converted
+  end
+
+(* Consistency: every stage that converts the same loop must exit it at
+   the same control-value level, or producers and consumers disagree on
+   how many control values flow. On disagreement, demote all of them to
+   the unmerged (per-loop) level. *)
+let reconcile_exit_sites (ctx : Ctx.context) (d : C.decisions) =
+  if ctx.Ctx.flags.Pass.f_cv && ctx.Ctx.flags.Pass.f_dce then begin
+    let by_loop = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun (s, l) _ ->
+        let cur = try Hashtbl.find by_loop l with Not_found -> [] in
+        Hashtbl.replace by_loop l (s :: cur))
+      d.C.d_converted;
+    Hashtbl.iter
+      (fun l stages ->
+        let sites =
+          List.sort_uniq compare
+            (List.map (fun s -> Hashtbl.find d.C.d_exit_site (s, l)) stages)
+        in
+        if List.length sites > 1 then begin
+          let own_site =
+            match ctx.Ctx.key_node.(l) with
+            | Some (K.Kfor (_, site, _, _, _, _)) -> site
+            | _ -> l
+          in
+          List.iter
+            (fun s ->
+              Hashtbl.replace d.C.d_exit_site (s, l) own_site;
+              List.iter
+                (fun p -> Hashtbl.remove d.C.d_merged (s, p))
+                (Hashtbl.find ctx.Ctx.parent_loops l))
+            stages
+        end)
+      by_loop
+  end
+
+(* DCE: conditional elision for consumers whose per-iteration payloads are
+   all enqueued under the producer's condition. *)
+let elide_conditionals (ctx : Ctx.context) (d : C.decisions) =
+  if ctx.Ctx.flags.Pass.f_cv && ctx.Ctx.flags.Pass.f_dce then begin
+    K.iter_list
+      (fun node ->
+        match node with
+        | K.Kif (k, _, cond, _tb, fb) when fb = [] ->
+          let cond_vars = K.expr_uses [] cond in
+          List.iter
+            (fun s ->
+              let enclosing_loop = Ctx.innermost ctx k in
+              let loop_converted =
+                enclosing_loop >= 0 && Hashtbl.mem d.C.d_converted (s, enclosing_loop)
+              in
+              let cond_nonlocal =
+                List.exists (fun x -> C.consumed_by ctx d s x) cond_vars
+              in
+              if loop_converted && cond_nonlocal then begin
+                (* every channel consumed by s at this loop level must have
+                   its defs inside this If, and s must own no simple stmts
+                   at the loop level outside the If *)
+                let ok = ref true in
+                K.iter_list
+                  (fun n2 ->
+                    match n2 with
+                    | K.Kstmt (k2, stmt2)
+                      when Ctx.innermost ctx k2 = enclosing_loop
+                           && not (List.mem k (Hashtbl.find ctx.Ctx.parent_ifs k2)) -> (
+                      if
+                        ctx.Ctx.stage_of.(k2) = s
+                        && not (Hashtbl.mem ctx.Ctx.replicated_keys k2)
+                      then ok := false;
+                      match K.stmt_def stmt2 with
+                      | Some x ->
+                        if C.consumed_by ctx d s x then begin
+                          let is_bound =
+                            match ctx.Ctx.key_node.(enclosing_loop) with
+                            | Some (K.Kfor (_, _, _, lo, hi, _)) ->
+                              List.mem x (K.expr_uses (K.expr_uses [] lo) hi)
+                            | _ -> false
+                          in
+                          if not is_bound then ok := false
+                        end
+                      | None -> ())
+                    | _ -> ())
+                  ctx.Ctx.tree;
+                (* ...and s must actually have content inside the If *)
+                let has_content = ref false in
+                K.iter_list
+                  (fun n2 ->
+                    match n2 with
+                    | K.Kstmt (k2, _)
+                      when List.mem k (Hashtbl.find ctx.Ctx.parent_ifs k2)
+                           && (ctx.Ctx.stage_of.(k2) = s
+                              ||
+                              match
+                                K.stmt_def
+                                  (match n2 with
+                                  | K.Kstmt (_, st) -> st
+                                  | _ -> assert false)
+                              with
+                              | Some x -> C.consumed_by ctx d s x
+                              | None -> false) ->
+                      has_content := true
+                    | _ -> ())
+                  ctx.Ctx.tree;
+                if !ok && !has_content then Hashtbl.replace d.C.d_elided (s, k) ()
+              end)
+            (C.needs_of d k)
+        | K.Kstmt _ | K.Kif _ | K.Kwhile _ | K.Kfor _ -> ())
+      ctx.Ctx.tree
+  end

@@ -1,29 +1,30 @@
 (* The decoupler: turns a normalized serial body plus a set of cut points
    into a multi-stage pipeline. The paper factors this into passes
-   (Fig. 5); here each pass is a feature gate applied during one staged
-   lowering, which keeps every position-dependent decision consistent:
+   (Fig. 5); here the transform is itself split into cohesive modules,
+   sequenced by this driver so that every position-dependent decision
+   stays consistent:
 
-   - queues (always on): stage assignment at the cuts, replication of the
-     control skeleton, scalar communication via queues placed at def
-     positions (forward chains, direct feedback edges), init replication.
-   - recompute: pure, cheap cross-stage values are re-derived locally
-     instead of queued (rematerialization).
-   - ra: cut loads move into reference accelerators; adjacent loads on the
-     same array share one RA.
-   - cv: consumer loops whose bounds are queued per iteration become
-     while(true) loops terminated by in-band control values.
-   - handlers: the per-element is_control check moves into a control-value
-     handler.
-   - dce (inter-stage): control-value levels that downstream stages do not
-     need are merged away; conditionals whose payloads are queued under the
-     producer's condition are elided in consumers.
+   - Stage_assign (phases A/B): stage assignment at the cuts and the shared
+     analysis context (def positions, ancestors, induction vars, init
+     replication, movable-initializer sinking).
+   - Commplan (phase C, first half): uses/needs fixpoint, recompute
+     (rematerialization, recompute gate), barriers between sibling loop
+     nests, then — after the CV/DCE decisions — channel construction,
+     reference-accelerator assignment (ra gate), and the control-value
+     emission plan.
+   - Cvdce (phase C, second half): control-value conversion of consumer
+     loops (cv gate), upward merging of converted loops, exit-site
+     reconciliation, and conditional elision (dce gate).
+   - Emit (phase D): per-stage emission, with in-band control checks or
+     control-value handlers (handlers gate).
 
-   Scan-chaining and stage elision run afterwards (see Chain). *)
+   Scan-chaining and stage elision run afterwards as separate registered
+   passes (see Chain and Passes). *)
 
-open Phloem_ir.Types
-module K = Ktree
-
-type flags = {
+(* Re-exports: the feature gates and the rejection exception live in Pass
+   (so every pass module can use them without a dependency cycle), but
+   callers historically reach them through Decouple. *)
+type flags = Pass.flags = {
   f_recompute : bool;
   f_ra : bool;
   f_cv : bool;
@@ -31,1270 +32,41 @@ type flags = {
   f_dce : bool;
 }
 
-let all_passes =
-  { f_recompute = true; f_ra = true; f_cv = true; f_handlers = true; f_dce = true }
+let all_passes = Pass.all_passes
+let queues_only = Pass.queues_only
 
-let queues_only =
-  { f_recompute = false; f_ra = false; f_cv = false; f_handlers = false; f_dce = false }
+exception Reject = Pass.Reject
 
-exception Reject of string
+let reject = Pass.reject
 
-let reject fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
-
-(* A communication channel: one or more variables (a merged cut group)
-   flowing from a producer stage through a forward chain and/or backward
-   edges. *)
-type channel = {
-  ch_vars : var list;
-  ch_def_stage : int;
-  ch_def_keys : int list; (* def keys, program order *)
-  mutable ch_chain : (int * int) list; (* (stage, queue into that stage), forward *)
-  mutable ch_back : (int * int) list; (* (stage, queue), feedback *)
-  mutable ch_ra : int option; (* RA id when the producing loads are offloaded *)
-  mutable ch_ra_in : int; (* RA input queue (valid when ch_ra set) *)
-}
-
-type context = {
-  flags : flags;
-  tree : K.t list;
-  n_keys : int;
-  stage_of : int array; (* key -> stage; -1 for control nodes *)
-  load_ord : int array; (* key -> load ordinal or -1 *)
-  prefetch_from : (int, int) Hashtbl.t; (* load key -> producer stage *)
-  cut_head_keys : (int, unit) Hashtbl.t; (* keys of normal-cut loads (RA candidates) *)
-  n_stages : int;
-  parent_loops : (int, int list) Hashtbl.t; (* key -> enclosing loop keys, inner first *)
-  def_keys : (var, int list) Hashtbl.t;
-  def_stages : (var, int list) Hashtbl.t;
-  replicated : (var, unit) Hashtbl.t; (* vars whose every def is init-replicated *)
-  replicated_keys : (int, unit) Hashtbl.t;
-  induction_of : (var, int) Hashtbl.t; (* induction var -> loop key *)
-  params : var list;
-  key_node : K.t option array;
-}
-
-(* ---------- phase A: stage assignment ---------- *)
-
-let assign_stages tree n_keys (cuts : Costmodel.cut list) =
-  let stage_of = Array.make n_keys (-1) in
-  let load_ord = Array.make n_keys (-1) in
-  let prefetch_from = Hashtbl.create 4 in
-  let cut_head_keys = Hashtbl.create 4 in
-  (* ordinal -> cut info *)
-  let cut_start = Hashtbl.create 8 in
-  let cut_end = Hashtbl.create 8 in
-  List.iter
-    (fun (c : Costmodel.cut) ->
-      let first = List.hd c.cut_loads in
-      let last = List.nth c.cut_loads (List.length c.cut_loads - 1) in
-      Hashtbl.replace cut_start first c;
-      Hashtbl.replace cut_end last c)
-    cuts;
-  let ordinal = ref 0 in
-  let stage = ref 0 in
-  let rec walk nodes =
-    List.iter
-      (fun node ->
-        match node with
-        | K.Kstmt (k, stmt) -> (
-          match K.stmt_load stmt with
-          | None -> stage_of.(k) <- !stage
-          | Some _ ->
-            let o = !ordinal in
-            incr ordinal;
-            load_ord.(k) <- o;
-            (match Hashtbl.find_opt cut_start o with
-            | Some c when c.Costmodel.cut_prefetch ->
-              (* boundary before the load; producer prefetches *)
-              Hashtbl.replace prefetch_from k !stage;
-              incr stage
-            | Some _ | None -> ());
-            stage_of.(k) <- !stage;
-            (match Hashtbl.find_opt cut_end o with
-            | Some c when not c.Costmodel.cut_prefetch ->
-              List.iter
-                (fun _ -> ())
-                c.Costmodel.cut_loads;
-              Hashtbl.replace cut_head_keys k ();
-              incr stage
-            | Some _ | None -> ());
-            (* non-tail members of a normal cut group are also RA-mergeable *)
-            (match Hashtbl.find_opt cut_start o with
-            | Some c when (not c.Costmodel.cut_prefetch) && List.length c.Costmodel.cut_loads > 1
-              ->
-              Hashtbl.replace cut_head_keys k ()
-            | _ -> ()))
-        | K.Kif (_, _, _, t, f) ->
-          walk t;
-          walk f
-        | K.Kwhile (_, _, _, b) | K.Kfor (_, _, _, _, _, b) -> walk b)
-      nodes
-  in
-  walk tree;
-  (* middle members of normal groups: mark them too *)
-  let rec mark_members nodes =
-    List.iter
-      (fun node ->
-        match node with
-        | K.Kstmt (k, stmt) -> (
-          match K.stmt_load stmt with
-          | Some _ ->
-            let o = load_ord.(k) in
-            List.iter
-              (fun (c : Costmodel.cut) ->
-                if (not c.Costmodel.cut_prefetch) && List.mem o c.Costmodel.cut_loads then
-                  Hashtbl.replace cut_head_keys k ())
-              cuts
-          | None -> ())
-        | K.Kif (_, _, _, t, f) ->
-          mark_members t;
-          mark_members f
-        | K.Kwhile (_, _, _, b) | K.Kfor (_, _, _, _, _, b) -> mark_members b)
-      nodes
-  in
-  mark_members tree;
-  (stage_of, load_ord, prefetch_from, cut_head_keys, !stage + 1)
-
-(* ---------- phase B: context construction ---------- *)
-
-let build_context ?(flags = all_passes) ~params tree n_keys cuts =
-  let stage_of, load_ord, prefetch_from, cut_head_keys, n_stages =
-    assign_stages tree n_keys cuts
-  in
-  let parent_loops = Hashtbl.create 32 in
-  let def_keys = Hashtbl.create 32 in
-  let def_stages = Hashtbl.create 32 in
-  let induction_of = Hashtbl.create 8 in
-  let key_node = Array.make n_keys None in
-  let add_def x k =
-    let cur = try Hashtbl.find def_keys x with Not_found -> [] in
-    Hashtbl.replace def_keys x (cur @ [ k ]);
-    let s = stage_of.(k) in
-    let cur = try Hashtbl.find def_stages x with Not_found -> [] in
-    if not (List.mem s cur) then Hashtbl.replace def_stages x (s :: cur)
-  in
-  let rec walk loops nodes =
-    List.iter
-      (fun node ->
-        key_node.(K.key node) <- Some node;
-        Hashtbl.replace parent_loops (K.key node) loops;
-        match node with
-        | K.Kstmt (k, stmt) -> (
-          match K.stmt_def stmt with Some x -> add_def x k | None -> ())
-        | K.Kif (_, _, _, t, f) ->
-          walk loops t;
-          walk loops f
-        | K.Kwhile (k, _, _, b) -> walk (k :: loops) b
-        | K.Kfor (k, _, v, _, _, b) ->
-          Hashtbl.replace induction_of v k;
-          walk (k :: loops) b)
-      nodes
-  in
-  walk [] tree;
-  (* Sink movable initializers: a pure constant-ish def of a variable whose
-     remaining defs all live in one stage moves to that stage (e.g. an
-     accumulator reset at the top of an outer loop, accumulated downstream). *)
-  Hashtbl.iter
-    (fun x dks ->
-      let stages = List.sort_uniq compare (List.map (fun k -> stage_of.(k)) dks) in
-      if List.length stages > 1 then begin
-        let movable k =
-          match key_node.(k) with
-          | Some (K.Kstmt (_, Assign (_, rhs))) -> (
-            match rhs with
-            | Const _ -> true
-            | Var y | Binop (_, Var y, Const _) | Binop (_, Const _, Var y) ->
-              List.mem y params
-            | _ -> false)
-          | _ -> false
-        in
-        let fixed = List.filter (fun k -> not (movable k)) dks in
-        let fixed_stages = List.sort_uniq compare (List.map (fun k -> stage_of.(k)) fixed) in
-        match fixed_stages with
-        | [ t ] ->
-          List.iter (fun k -> if movable k then stage_of.(k) <- t) dks;
-          Hashtbl.replace def_stages x [ t ]
-        | _ -> ()
-      end)
-    def_keys;
-  (* init replication: depth-0 pure defs over params/other replicated vars,
-     plus depth-0 constant stores handled at emission. *)
-  let replicated = Hashtbl.create 8 in
-  let replicated_keys = Hashtbl.create 8 in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    let scan_node node =
-      match node with
-      | K.Kstmt (k, Assign (x, rhs))
-        when Hashtbl.find parent_loops k = [] && K.expr_is_pure rhs
-             && not (Hashtbl.mem replicated_keys k) ->
-        let ops = K.expr_uses [] rhs in
-        let avail v = List.mem v params || Hashtbl.mem replicated v in
-        if List.for_all avail ops then begin
-          Hashtbl.replace replicated_keys k ();
-          changed := true;
-          (* a var is fully local everywhere if ALL its defs replicate *)
-          let dks = try Hashtbl.find def_keys x with Not_found -> [] in
-          if List.for_all (fun dk -> Hashtbl.mem replicated_keys dk) dks then
-            Hashtbl.replace replicated x ()
-        end
-      | K.Kstmt _ | K.Kif _ | K.Kwhile _ | K.Kfor _ -> ()
-    in
-    K.iter_list scan_node tree
-  done;
-  {
-    flags;
-    tree;
-    n_keys;
-    stage_of;
-    load_ord;
-    prefetch_from;
-    cut_head_keys;
-    n_stages;
-    parent_loops;
-    def_keys;
-    def_stages;
-    replicated;
-    replicated_keys;
-    induction_of;
-    params;
-    key_node;
-  }
-
-(* ---------- phase C: uses, consumers, recompute, CV/DCE decisions ---------- *)
-
-type use_origin = Ostmt | Obound of int (* loop key *) | Ocond of int (* if key *)
-
-type decisions = {
-  d_uses : (var, (int * use_origin) list ref) Hashtbl.t; (* var -> (stage, origin) *)
-  d_needs : (int, int list ref) Hashtbl.t; (* control key -> stages *)
-  d_recomputed : (int * var, unit) Hashtbl.t; (* (stage, var) *)
-  d_converted : (int * int, var) Hashtbl.t; (* (stage, loop key) -> primary var *)
-  d_exit_site : (int * int, int) Hashtbl.t; (* (stage, loop key) -> CV site *)
-  d_merged : (int * int, unit) Hashtbl.t; (* (stage, ancestor loop key) emits nothing *)
-  d_elided : (int * int, unit) Hashtbl.t; (* (stage, if key) *)
-  d_barrier_before : (int, unit) Hashtbl.t; (* node keys preceded by a barrier *)
-  mutable d_channels : channel list;
-  d_var_channel : (var, channel) Hashtbl.t;
-  (* (emitter stage, loop key) -> (queue, site) list: enq_ctrl after the loop *)
-  d_cv_emits : (int * int, (int * int) list ref) Hashtbl.t;
-  mutable d_next_queue : int;
-  mutable d_next_ra : int;
-  mutable d_ras : ra_config list;
-}
-
-let node_cond_vars node =
-  match node with
-  | K.Kif (_, _, c, _, _) -> K.expr_uses [] c
-  | K.Kwhile (_, _, c, _) -> K.expr_uses [] c
-  | K.Kfor (_, _, _, lo, hi, _) -> K.expr_uses (K.expr_uses [] lo) hi
-  | K.Kstmt _ -> []
-
-(* Innermost enclosing loop key, or -1 at top level. *)
-let innermost ctx k =
-  match Hashtbl.find ctx.parent_loops k with [] -> -1 | l :: _ -> l
-
-let def_keys_of ctx x = try Hashtbl.find ctx.def_keys x with Not_found -> []
-
-let nonrep_defs ctx x =
-  List.filter (fun k -> not (Hashtbl.mem ctx.replicated_keys k)) (def_keys_of ctx x)
-
-(* The stage that produces x for communication purposes. Normally all
-   non-replicated defs live in one stage. A cursor initialized by a cut load
-   in an early stage and updated locally by one later stage (SpMM's merge
-   indices) is also fine: the early defs are communicated, the later ones
-   are local. Anything else is rejected. *)
-let def_stage_of ctx x =
-  match nonrep_defs ctx x with
-  | [] -> None
-  | ks ->
-    let stages = List.sort_uniq compare (List.map (fun k -> ctx.stage_of.(k)) ks) in
-    (match stages with
-    | [ s ] -> Some s
-    | [ t; u ] when t < u ->
-      let early_defs = List.filter (fun k -> ctx.stage_of.(k) = t) ks in
-      if List.for_all (fun k -> Hashtbl.mem ctx.cut_head_keys k) early_defs then Some t
-      else
-        reject "variable %s is defined in multiple stages %s" x
-          (String.concat "," (List.map string_of_int stages))
-    | _ ->
-      reject "variable %s is defined in multiple stages %s" x
-        (String.concat "," (List.map string_of_int stages)))
-
-(* The def keys that feed x's communication channel (the producer stage's). *)
-let channel_defs ctx x =
-  match def_stage_of ctx x with
-  | None -> []
-  | Some t -> List.filter (fun k -> ctx.stage_of.(k) = t) (nonrep_defs ctx x)
-
-let decide ctx (cuts : Costmodel.cut list) : decisions =
-  let d =
-    {
-      d_uses = Hashtbl.create 64;
-      d_needs = Hashtbl.create 64;
-      d_recomputed = Hashtbl.create 16;
-      d_converted = Hashtbl.create 16;
-      d_exit_site = Hashtbl.create 16;
-      d_merged = Hashtbl.create 16;
-      d_elided = Hashtbl.create 16;
-      d_barrier_before = Hashtbl.create 4;
-      d_channels = [];
-      d_var_channel = Hashtbl.create 16;
-      d_cv_emits = Hashtbl.create 8;
-      d_next_queue = 0;
-      d_next_ra = 0;
-      d_ras = [];
-    }
-  in
-  let add_use x s origin =
-    let l =
-      match Hashtbl.find_opt d.d_uses x with
-      | Some l -> l
-      | None ->
-        let l = ref [] in
-        Hashtbl.replace d.d_uses x l;
-        l
-    in
-    if not (List.mem (s, origin) !l) then l := (s, origin) :: !l
-  in
-  let needs_of k =
-    match Hashtbl.find_opt d.d_needs k with
-    | Some l -> !l
-    | None -> []
-  in
-  let add_need k s =
-    let l =
-      match Hashtbl.find_opt d.d_needs k with
-      | Some l -> l
-      | None ->
-        let l = ref [] in
-        Hashtbl.replace d.d_needs k l;
-        l
-    in
-    if not (List.mem s !l) then begin
-      l := s :: !l;
-      true
-    end
-    else false
-  in
-  (* control ancestors of a key: all enclosing control nodes (loops and ifs).
-     parent_loops has loops only, so recompute full ancestors here. *)
-  let ancestors = Hashtbl.create ctx.n_keys in
-  let parent_ifs = Hashtbl.create ctx.n_keys in
-  let rec anc path ifs nodes =
-    List.iter
-      (fun node ->
-        Hashtbl.replace ancestors (K.key node) path;
-        Hashtbl.replace parent_ifs (K.key node) ifs;
-        match node with
-        | K.Kstmt _ -> ()
-        | K.Kif (k, _, _, t, f) ->
-          anc (k :: path) (k :: ifs) t;
-          anc (k :: path) (k :: ifs) f
-        | K.Kwhile (k, _, _, b) | K.Kfor (k, _, _, _, _, b) -> anc (k :: path) ifs b)
-      nodes
-  in
-  anc [] [] ctx.tree;
-  (* seed: simple stmt uses and needs *)
-  K.iter_list
-    (fun node ->
-      match node with
-      | K.Kstmt (k, stmt) ->
-        let s =
-          if Hashtbl.mem ctx.replicated_keys k then -2 (* everywhere *)
-          else ctx.stage_of.(k)
-        in
-        if s >= 0 then begin
-          List.iter (fun x -> add_use x s Ostmt) (K.stmt_uses stmt);
-          List.iter (fun a -> ignore (add_need a s)) (Hashtbl.find ancestors k);
-          match Hashtbl.find_opt ctx.prefetch_from k with
-          | Some p ->
-            (* the producer prefetches: it needs the index and the loops *)
-            List.iter (fun x -> add_use x p Ostmt) (K.stmt_uses stmt);
-            List.iter (fun a -> ignore (add_need a p)) (Hashtbl.find ancestors k)
-          | None -> ()
-        end
-      | K.Kif _ | K.Kwhile _ | K.Kfor _ -> ())
-    ctx.tree;
-  let local ~stage:s x =
-    List.mem x ctx.params || Hashtbl.mem ctx.replicated x
-    || Hashtbl.mem ctx.induction_of x
-    || (match def_stage_of ctx x with Some t -> t = s | None -> true)
-  in
-  (* fixpoint: control uses and def-position needs *)
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    (* an If that can break a loop must replicate into every stage that has
-       the loop, or their copies would never exit *)
-    K.iter_list
-      (fun node ->
-        match node with
-        | K.Kif (k, _, _, tb, fb) ->
-          let rec directly_breaks ns =
-            List.exists
-              (function
-                | K.Kstmt (_, (Break | Exit_loops _)) -> true
-                | K.Kstmt _ | K.Kwhile _ | K.Kfor _ -> false
-                | K.Kif (_, _, _, t, f) -> directly_breaks t || directly_breaks f)
-              ns
-          in
-          if directly_breaks tb || directly_breaks fb then (
-            match Hashtbl.find ctx.parent_loops k with
-            | l :: _ ->
-              List.iter (fun s -> if add_need k s then changed := true) (needs_of l)
-            | [] -> ())
-        | K.Kstmt _ | K.Kwhile _ | K.Kfor _ -> ())
-      ctx.tree;
-    (* register control-expression uses for needing stages *)
-    K.iter_list
-      (fun node ->
-        match node with
-        | K.Kstmt _ -> ()
-        | K.Kif (k, _, _, _, _) ->
-          List.iter
-            (fun s ->
-              List.iter (fun x -> add_use x s (Ocond k)) (node_cond_vars node))
-            (needs_of k)
-        | K.Kwhile (k, _, _, _) ->
-          List.iter
-            (fun s -> List.iter (fun x -> add_use x s (Ocond k)) (node_cond_vars node))
-            (needs_of k)
-        | K.Kfor (k, _, _, _, _, _) ->
-          List.iter
-            (fun s -> List.iter (fun x -> add_use x s (Obound k)) (node_cond_vars node))
-            (needs_of k))
-      ctx.tree;
-    (* consumers need the control context of each def position *)
-    Hashtbl.iter
-      (fun x uses ->
-        List.iter
-          (fun (s, _) ->
-            if s >= 0 && not (local ~stage:s x) then
-              List.iter
-                (fun dk ->
-                  List.iter
-                    (fun a -> if add_need a s then changed := true)
-                    (Hashtbl.find ancestors dk))
-                (channel_defs ctx x))
-          !uses)
-      d.d_uses
-  done;
-  (* recompute (rematerialization) *)
-  if ctx.flags.f_recompute then begin
-    (* a def is recomputable in stage s only when its full control context
-       is available there: no enclosing If, and every enclosing loop is one
-       the stage replicates *)
-    let candidate ~stage:s x =
-      nonrep_defs ctx x <> []
-      && List.for_all
-           (fun k ->
-             (match ctx.key_node.(k) with
-             | Some (K.Kstmt (_, Assign (_, rhs))) -> K.expr_is_pure rhs
-             | _ -> false)
-             && Hashtbl.find parent_ifs k = []
-             && List.for_all
-                  (fun l -> List.mem s (needs_of l))
-                  (Hashtbl.find ctx.parent_loops k))
-           (nonrep_defs ctx x)
-    in
-    let consumer_stages x =
-      match Hashtbl.find_opt d.d_uses x with
-      | None -> []
-      | Some uses ->
-        List.sort_uniq compare
-          (List.filter_map
-             (fun (s, _) -> if s >= 0 && not (local ~stage:s x) then Some s else None)
-             !uses)
-    in
-    let all_vars = Hashtbl.fold (fun x _ acc -> x :: acc) d.d_uses [] in
-    List.iter
-      (fun x ->
-        List.iter
-          (fun s ->
-            if candidate ~stage:s x then begin
-              (* availability closure for stage s *)
-              let rec avail ?(seen = []) y =
-                if List.mem y seen then false
-                else
-                  local ~stage:s y
-                  || Hashtbl.mem d.d_recomputed (s, y)
-                  || (candidate ~stage:s y
-                     && List.for_all
-                          (fun k ->
-                            match ctx.key_node.(k) with
-                            | Some (K.Kstmt (_, Assign (_, rhs))) ->
-                              List.for_all
-                                (fun z -> z = y || avail ~seen:(y :: seen) z)
-                                (K.expr_uses [] rhs)
-                            | _ -> false)
-                          (nonrep_defs ctx y))
-              in
-              if avail x then Hashtbl.replace d.d_recomputed (s, x) ()
-            end)
-          (consumer_stages x))
-      all_vars
-  end;
-  let consumed_by s x =
-    (not (local ~stage:s x))
-    && (not (Hashtbl.mem d.d_recomputed (s, x)))
-    &&
-    match Hashtbl.find_opt d.d_uses x with
-    | None -> false
-    | Some uses -> List.exists (fun (s', _) -> s' = s) !uses
-  in
-  (* barriers between sibling loop nests with cross-stage array deps *)
-  if ctx.n_stages > 1 then begin
-    let arrays_written nodes =
-      let acc = ref [] in
-      let rec go ns =
-        List.iter
-          (fun n ->
-            match n with
-            | K.Kstmt (k, (Store (a, _, _) | Atomic_min (a, _, _) | Atomic_add (a, _, _))) ->
-              acc := (a, ctx.stage_of.(k)) :: !acc
-            | K.Kstmt _ -> ()
-            | K.Kif (_, _, _, t, f) ->
-              go t;
-              go f
-            | K.Kwhile (_, _, _, b) | K.Kfor (_, _, _, _, _, b) -> go b)
-          ns
-      in
-      go nodes;
-      !acc
-    in
-    let arrays_read nodes =
-      let acc = ref [] in
-      let rec go_expr k e =
-        match e with
-        | Load (a, i) ->
-          acc := (a, ctx.stage_of.(k)) :: !acc;
-          go_expr k i
-        | Binop (_, x, y) ->
-          go_expr k x;
-          go_expr k y
-        | Unop (_, x) | Is_control x | Ctrl_payload x -> go_expr k x
-        | Call (_, args) -> List.iter (go_expr k) args
-        | Const _ | Var _ | Deq _ -> ()
-      in
-      let rec go ns =
-        List.iter
-          (fun n ->
-            match n with
-            | K.Kstmt (k, stmt) -> (
-              match stmt with
-              | Assign (_, e) | Enq (_, e) | Prefetch (_, e) -> go_expr k e
-              | Store (_, i, v) | Atomic_min (_, i, v) | Atomic_add (_, i, v) ->
-                go_expr k i;
-                go_expr k v
-              | Enq_indexed (_, a, b) ->
-                go_expr k a;
-                go_expr k b
-              | _ -> ())
-            | K.Kif (_, _, _, t, f) ->
-              go t;
-              go f
-            | K.Kwhile (_, _, _, b) | K.Kfor (_, _, _, _, _, b) -> go b)
-          ns
-      in
-      go nodes;
-      !acc
-    in
-    let rec scan_siblings nodes =
-      let loops =
-        List.filter (function K.Kfor _ | K.Kwhile _ -> true | _ -> false) nodes
-      in
-      let conflicts n1 n2 =
-        (* a write in n1 touching an array n2 accesses from another stage *)
-        let reads2 = arrays_read [ n2 ] @ arrays_written [ n2 ] in
-        List.exists
-          (fun (a, t) ->
-            List.exists (fun (a2, s2) -> a2 = a && s2 <> t && s2 >= 0 && t >= 0) reads2)
-          (arrays_written [ n1 ])
-      in
-      List.iteri
-        (fun j n2 ->
-          let earlier = List.filteri (fun i _ -> i < j) loops in
-          if List.exists (fun n1 -> conflicts n1 n2) earlier then
-            Hashtbl.replace d.d_barrier_before (K.key n2) ())
-        loops;
-      (* wrap-around: a later sibling's writes feeding an earlier sibling's
-         reads in the next iteration of the enclosing loop *)
-      (match loops with
-      | first :: _ :: _ ->
-        let later = List.tl loops in
-        if List.exists (fun n1 -> conflicts n1 first) later then
-          Hashtbl.replace d.d_barrier_before (K.key first) ()
-      | _ -> ());
-      List.iter
-        (function
-          | K.Kif (_, _, _, t, f) ->
-            scan_siblings t;
-            scan_siblings f
-          | K.Kwhile (_, _, _, b) | K.Kfor (_, _, _, _, _, b) -> scan_siblings b
-          | K.Kstmt _ -> ())
-        nodes
-    in
-    scan_siblings ctx.tree
-  end;
-  (* Is x still communicated to s given decisions so far? A use that is
-     only the bound of an already-converted loop no longer counts. *)
-  let still_consumed s x =
-    consumed_by s x
-    &&
-    match Hashtbl.find_opt d.d_uses x with
-    | None -> false
-    | Some uses ->
-      List.exists
-        (fun (s', o) ->
-          s' = s
-          &&
-          match o with
-          | Ostmt -> true
-          | Obound l -> not (Hashtbl.mem d.d_converted (s, l))
-          | Ocond i -> not (Hashtbl.mem d.d_elided (s, i)))
-        !uses
-  in
-  (* CV conversion: consumer loops become while(true) terminated by in-band
-     control values. Decided innermost-first so that an outer loop's primary
-     payload is a value the stage still receives. *)
-  if ctx.flags.f_cv then begin
-    let rec post_order nodes =
-      List.iter
-        (fun node ->
-          (match node with
-          | K.Kif (_, _, _, t, f) ->
-            post_order t;
-            post_order f
-          | K.Kwhile (_, _, _, b) | K.Kfor (_, _, _, _, _, b) -> post_order b
-          | K.Kstmt _ -> ());
-          match node with
-          | K.Kfor (k, site, v, lo, hi, _) ->
-            let bound_vars = K.expr_uses (K.expr_uses [] lo) hi in
-            List.iter
-              (fun s ->
-                (* convert only loops whose bounds would need a queue *)
-                let nonlocal_bounds =
-                  List.exists (fun x -> consumed_by s x) bound_vars
-                in
-                (* induction var used by stage s? then keep the For *)
-                let v_used =
-                  match Hashtbl.find_opt d.d_uses v with
-                  | None -> false
-                  | Some uses -> List.exists (fun (s', o) -> s' = s && o = Ostmt) !uses
-                in
-                if nonlocal_bounds && not v_used then begin
-                  (* primary payload: the first value the stage still
-                     receives per iteration of this loop *)
-                  let primary =
-                    Hashtbl.fold
-                      (fun x _ best ->
-                        if still_consumed s x then
-                          match channel_defs ctx x with
-                          | dk :: _ when innermost ctx dk = k && not (List.mem x bound_vars)
-                            -> (
-                            match best with
-                            | Some (bk, _) when bk <= dk -> best
-                            | _ -> Some (dk, x))
-                          | _ -> best
-                        else best)
-                      d.d_uses None
-                  in
-                  match primary with
-                  | Some (_, x) ->
-                    Hashtbl.replace d.d_converted (s, k) x;
-                    Hashtbl.replace d.d_exit_site (s, k) site
-                  | None -> ()
-                end)
-              (needs_of k)
-          | K.Kstmt _ | K.Kif _ | K.Kwhile _ -> ())
-        nodes
-    in
-    post_order ctx.tree
-  end;
-  (* DCE: merge converted loops upward through ancestors whose only content
-     (for this stage) is the converted loop and its dropped bounds. *)
-  if ctx.flags.f_cv && ctx.flags.f_dce then begin
-    let content_at s p ~excluding_loop:l =
-      (* any simple stmt of stage s, or def position consumed by s, whose
-         innermost loop is p and which is not inside l's subtree *)
-      let inside_l k = List.mem l (Hashtbl.find ctx.parent_loops k) || k = l in
-      let found = ref false in
-      K.iter_list
-        (fun node ->
-          match node with
-          | K.Kstmt (k, stmt) when innermost ctx k = p && not (inside_l k) -> (
-            if (not !found) && ctx.stage_of.(k) = s && not (Hashtbl.mem ctx.replicated_keys k)
-            then found := true;
-            if not !found then
-              match K.stmt_def stmt with
-              | Some x ->
-                if consumed_by s x then begin
-                  (* a dropped bound of the converted loop doesn't count *)
-                  let is_dropped_bound =
-                    match ctx.key_node.(l) with
-                    | Some (K.Kfor (_, _, _, lo, hi, _)) ->
-                      Hashtbl.mem d.d_converted (s, l)
-                      && List.mem x (K.expr_uses (K.expr_uses [] lo) hi)
-                    | _ -> false
-                  in
-                  if not is_dropped_bound then found := true
-                end
-              | None -> ())
-          | K.Kstmt _ | K.Kif _ | K.Kwhile _ | K.Kfor _ -> ())
-        ctx.tree;
-      !found
-    in
-    let converted = Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.d_converted [] in
-    List.iter
-      (fun ((s, l), _primary) ->
-        (* walk up through Kfor ancestors *)
-        (* a barrier anywhere at the current level must fire once per
-           iteration of the parent, so it blocks merging upward *)
-        let barrier_at_level p cur =
-          Hashtbl.fold
-            (fun bk () acc -> acc || bk = cur || innermost ctx bk = p)
-            d.d_barrier_before false
-        in
-        let rec up cur =
-          match Hashtbl.find ctx.parent_loops cur with
-          | p :: _ -> (
-            match ctx.key_node.(p) with
-            | Some (K.Kfor (_, psite, _, _, _, _))
-              when List.mem s (needs_of p)
-                   && (not (content_at s p ~excluding_loop:cur))
-                   && not (barrier_at_level p cur) ->
-              Hashtbl.replace d.d_merged (s, p) ();
-              Hashtbl.replace d.d_exit_site (s, l) psite;
-              up p
-            | _ -> ())
-          | [] -> ()
-        in
-        up l)
-      converted
-  end;
-  (* Consistency: every stage that converts the same loop must exit it at
-     the same control-value level, or producers and consumers disagree on
-     how many control values flow. On disagreement, demote all of them to
-     the unmerged (per-loop) level. *)
-  if ctx.flags.f_cv && ctx.flags.f_dce then begin
-    let by_loop = Hashtbl.create 8 in
-    Hashtbl.iter
-      (fun (s, l) _ ->
-        let cur = try Hashtbl.find by_loop l with Not_found -> [] in
-        Hashtbl.replace by_loop l (s :: cur))
-      d.d_converted;
-    Hashtbl.iter
-      (fun l stages ->
-        let sites =
-          List.sort_uniq compare
-            (List.map (fun s -> Hashtbl.find d.d_exit_site (s, l)) stages)
-        in
-        if List.length sites > 1 then begin
-          let own_site =
-            match ctx.key_node.(l) with
-            | Some (K.Kfor (_, site, _, _, _, _)) -> site
-            | _ -> l
-          in
-          List.iter
-            (fun s ->
-              Hashtbl.replace d.d_exit_site (s, l) own_site;
-              List.iter
-                (fun p -> Hashtbl.remove d.d_merged (s, p))
-                (Hashtbl.find ctx.parent_loops l))
-            stages
-        end)
-      by_loop
-  end;
-  (* DCE: conditional elision for consumers whose per-iteration payloads are
-     all enqueued under the producer's condition. *)
-  if ctx.flags.f_cv && ctx.flags.f_dce then begin
-    K.iter_list
-      (fun node ->
-        match node with
-        | K.Kif (k, _, cond, _tb, fb) when fb = [] ->
-          let cond_vars = K.expr_uses [] cond in
-          List.iter
-            (fun s ->
-              let enclosing_loop = innermost ctx k in
-              let loop_converted =
-                enclosing_loop >= 0 && Hashtbl.mem d.d_converted (s, enclosing_loop)
-              in
-              let cond_nonlocal = List.exists (fun x -> consumed_by s x) cond_vars in
-              if loop_converted && cond_nonlocal then begin
-                (* every channel consumed by s at this loop level must have
-                   its defs inside this If, and s must own no simple stmts
-                   at the loop level outside the If *)
-                let ok = ref true in
-                K.iter_list
-                  (fun n2 ->
-                    match n2 with
-                    | K.Kstmt (k2, stmt2)
-                      when innermost ctx k2 = enclosing_loop
-                           && not (List.mem k (Hashtbl.find parent_ifs k2)) -> (
-                      if ctx.stage_of.(k2) = s && not (Hashtbl.mem ctx.replicated_keys k2)
-                      then ok := false;
-                      match K.stmt_def stmt2 with
-                      | Some x ->
-                        if consumed_by s x then begin
-                          let is_bound =
-                            match ctx.key_node.(enclosing_loop) with
-                            | Some (K.Kfor (_, _, _, lo, hi, _)) ->
-                              List.mem x (K.expr_uses (K.expr_uses [] lo) hi)
-                            | _ -> false
-                          in
-                          if not is_bound then ok := false
-                        end
-                      | None -> ())
-                    | _ -> ())
-                  ctx.tree;
-                (* ...and s must actually have content inside the If *)
-                let has_content = ref false in
-                K.iter_list
-                  (fun n2 ->
-                    match n2 with
-                    | K.Kstmt (k2, _)
-                      when List.mem k (Hashtbl.find parent_ifs k2)
-                           && (ctx.stage_of.(k2) = s
-                              || match K.stmt_def (match n2 with K.Kstmt (_, st) -> st | _ -> assert false) with
-                                 | Some x -> consumed_by s x
-                                 | None -> false) ->
-                      has_content := true
-                    | _ -> ())
-                  ctx.tree;
-                if !ok && !has_content then Hashtbl.replace d.d_elided (s, k) ()
-              end)
-            (needs_of k)
-        | K.Kstmt _ | K.Kif _ | K.Kwhile _ | K.Kfor _ -> ())
-      ctx.tree
-  end;
-  (* Final consumer sets, with converted-loop bounds and elided-If conds
-     dropped. *)
-  let final_consumers x =
-    match Hashtbl.find_opt d.d_uses x with
-    | None -> []
-    | Some uses ->
-      List.sort_uniq compare
-        (List.filter_map
-           (fun (s, origin) ->
-             if s < 0 || local ~stage:s x || Hashtbl.mem d.d_recomputed (s, x) then None
-             else
-               match origin with
-               | Obound l when Hashtbl.mem d.d_converted (s, l) ->
-                 (* still consumed if used elsewhere by s *)
-                 if
-                   List.exists
-                     (fun (s', o') ->
-                       s' = s
-                       && o' <> origin
-                       &&
-                       match o' with
-                       | Obound l' -> not (Hashtbl.mem d.d_converted (s, l'))
-                       | Ocond i' -> not (Hashtbl.mem d.d_elided (s, i'))
-                       | Ostmt -> true)
-                     !uses
-                 then Some s
-                 else None
-               | Ocond i when Hashtbl.mem d.d_elided (s, i) ->
-                 if
-                   List.exists
-                     (fun (s', o') ->
-                       s' = s
-                       && o' <> origin
-                       &&
-                       match o' with
-                       | Obound l' -> not (Hashtbl.mem d.d_converted (s, l'))
-                       | Ocond i' -> not (Hashtbl.mem d.d_elided (s, i'))
-                       | Ostmt -> true)
-                     !uses
-                 then Some s
-                 else None
-               | Obound l -> (
-                 (* needed for the For bound if s emits the For *)
-                 ignore l;
-                 Some s)
-               | Ocond _ | Ostmt -> Some s)
-           !uses)
-  in
-  (* build channels: one per communicated var, merging cut groups *)
-  let fresh_queue () =
-    let q = d.d_next_queue in
-    d.d_next_queue <- q + 1;
-    q
-  in
-  let ord_to_key = Hashtbl.create 16 in
-  K.iter_list
-    (fun node ->
-      match node with
-      | K.Kstmt (k, _) when ctx.load_ord.(k) >= 0 ->
-        Hashtbl.replace ord_to_key ctx.load_ord.(k) k
-      | _ -> ())
-    ctx.tree;
-  (* group id for cut-group merging: var -> cut head ordinal *)
-  let cut_group_of x =
-    let dks = channel_defs ctx x in
-    match dks with
-    | [ dk ] when Hashtbl.mem ctx.cut_head_keys dk ->
-      let o = ctx.load_ord.(dk) in
-      List.find_map
-        (fun (c : Costmodel.cut) ->
-          if (not c.Costmodel.cut_prefetch) && List.mem o c.Costmodel.cut_loads then
-            Some (List.hd c.Costmodel.cut_loads)
-          else None)
-        cuts
-    | _ -> None
-  in
-  let all_vars =
-    List.sort_uniq compare (Hashtbl.fold (fun x _ acc -> x :: acc) d.d_uses [])
-  in
-  let communicated =
-    List.filter_map
-      (fun x ->
-        match final_consumers x with
-        | [] -> None
-        | consumers -> (
-          match def_stage_of ctx x with
-          | None -> None (* params/replicated only *)
-          | Some t -> Some (x, t, consumers)))
-      all_vars
-  in
-  (* merge by cut group when consumer sets coincide *)
-  let grouped : (int option * int * int list, (var * int) list ref) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  List.iter
-    (fun (x, t, consumers) ->
-      let g = cut_group_of x in
-      let key = (g, t, consumers) in
-      let key = if g = None then (Some (-1 - Hashtbl.hash x), t, consumers) else key in
-      let l =
-        match Hashtbl.find_opt grouped key with
-        | Some l -> l
-        | None ->
-          let l = ref [] in
-          Hashtbl.replace grouped key l;
-          l
-      in
-      let dk = List.hd (channel_defs ctx x) in
-      l := (x, dk) :: !l)
-    communicated;
-  Hashtbl.iter
-    (fun (_, t, consumers) members ->
-      let members = List.sort (fun (_, a) (_, b) -> compare a b) !members in
-      let vars = List.map fst members in
-      let def_keys = List.concat_map (fun (x, _) -> channel_defs ctx x) members in
-      let forward = List.filter (fun s -> s > t) consumers in
-      let backward = List.filter (fun s -> s < t) consumers in
-      let chain = List.map (fun s -> (s, fresh_queue ())) forward in
-      let back = List.map (fun s -> (s, fresh_queue ())) backward in
-      let ch =
-        {
-          ch_vars = vars;
-          ch_def_stage = t;
-          ch_def_keys = List.sort compare def_keys;
-          ch_chain = chain;
-          ch_back = back;
-          ch_ra = None;
-          ch_ra_in = -1;
-        }
-      in
-      d.d_channels <- ch :: d.d_channels;
-      List.iter (fun x -> Hashtbl.replace d.d_var_channel x ch) vars)
-    grouped;
-  (* RA assignment *)
-  if ctx.flags.f_ra then
-    List.iter
-      (fun ch ->
-        if d.d_next_ra < 4 && ch.ch_back = [] && ch.ch_chain <> [] then begin
-          let arrays =
-            List.filter_map
-              (fun k ->
-                match ctx.key_node.(k) with
-                | Some (K.Kstmt (_, Assign (_, Load (a, _)))) when Hashtbl.mem ctx.cut_head_keys k ->
-                  Some a
-                | _ -> None)
-              ch.ch_def_keys
-          in
-          let producer_uses_locally =
-            List.exists
-              (fun x ->
-                match Hashtbl.find_opt d.d_uses x with
-                | None -> false
-                | Some uses -> List.exists (fun (s, _) -> s = ch.ch_def_stage) !uses)
-              ch.ch_vars
-          in
-          if
-            List.length arrays = List.length ch.ch_def_keys
-            && arrays <> []
-            && List.for_all (fun a -> a = List.hd arrays) arrays
-            && not producer_uses_locally
-          then begin
-            let ra_id = d.d_next_ra in
-            d.d_next_ra <- ra_id + 1;
-            let q_in = fresh_queue () in
-            ch.ch_ra <- Some ra_id;
-            ch.ch_ra_in <- q_in;
-            d.d_ras <-
-              {
-                ra_id;
-                ra_in = q_in;
-                ra_out = snd (List.hd ch.ch_chain);
-                ra_array = List.hd arrays;
-                ra_mode = Ra_indirect;
-              }
-              :: d.d_ras
-          end
-        end)
-      d.d_channels;
-  (* CV emission plan: the hop feeding each converted consumer re-emits the
-     control value after its own copy of the effective loop. *)
-  Hashtbl.iter
-    (fun (s, l) primary ->
-      match Hashtbl.find_opt d.d_var_channel primary with
-      | None -> ()
-      | Some ch ->
-        let site = Hashtbl.find d.d_exit_site (s, l) in
-        (* effective loop key for emission position *)
-        let rec effective cur =
-          match Hashtbl.find ctx.parent_loops cur with
-          | p :: _ when Hashtbl.mem d.d_merged (s, p) -> effective p
-          | _ -> cur
-        in
-        let eff = effective l in
-        (* find the hop before s in ch's chain *)
-        let rec hop_before prev = function
-          | [] -> None
-          | (s', q) :: rest -> if s' = s then Some (prev, q) else hop_before (Some s') rest
-        in
-        (match hop_before None ch.ch_chain with
-        | Some (prev_stage, q_into_s) ->
-          let emitter, target =
-            match (prev_stage, ch.ch_ra) with
-            | None, Some _ -> (ch.ch_def_stage, ch.ch_ra_in)
-            | None, None -> (ch.ch_def_stage, q_into_s)
-            | Some p, _ -> (p, q_into_s)
-          in
-          let key = (emitter, eff) in
-          let l' =
-            match Hashtbl.find_opt d.d_cv_emits key with
-            | Some l -> l
-            | None ->
-              let l = ref [] in
-              Hashtbl.replace d.d_cv_emits key l;
-              l
-          in
-          if not (List.mem (target, site) !l') then l' := (target, site) :: !l'
-        | None -> ()))
-    d.d_converted;
+(* Phase C: all per-stage decisions, in dependency order. Channel
+   construction must follow the CV/DCE decisions because converted-loop
+   bounds and elided-If conditions drop out of the consumer sets. *)
+let decide ctx (cuts : Costmodel.cut list) : Commplan.decisions =
+  let d = Commplan.create () in
+  Commplan.analyze ctx d;
+  Commplan.plan_recompute ctx d;
+  Commplan.plan_barriers ctx d;
+  Cvdce.convert_loops ctx d;
+  Cvdce.merge_converted ctx d;
+  Cvdce.reconcile_exit_sites ctx d;
+  Cvdce.elide_conditionals ctx d;
+  Commplan.build_channels ctx d cuts;
+  Commplan.assign_ras ctx d;
+  Commplan.plan_cv_emits ctx d;
   d
 
-(* ---------- phase D: per-stage emission ---------- *)
-
-type stage_acc = {
-  mutable sa_handlers : handler list;
-}
-
-let queue_into ch s =
-  match List.assoc_opt s ch.ch_chain with
-  | Some q -> Some q
-  | None -> List.assoc_opt s ch.ch_back
-
-let next_link ch s =
-  let rec go = function
-    | (s', _) :: ((_, q2) :: _ as rest) -> if s' = s then Some q2 else go rest
-    | _ -> None
-  in
-  go ch.ch_chain
-
-let emit ctx (d : decisions) ~(orig : pipeline) : pipeline =
-  let needs_of k =
-    match Hashtbl.find_opt d.d_needs k with Some l -> !l | None -> []
-  in
-  let cv_emits_after s k =
-    match Hashtbl.find_opt d.d_cv_emits (s, k) with
-    | Some l -> List.rev_map (fun (q, site) -> Enq_ctrl (q, site)) !l
-    | None -> []
-  in
-  let emit_stage s =
-    let acc = { sa_handlers = [] } in
-    let rec emit_nodes nodes = List.concat_map emit_node nodes
-    and emit_node node =
-      let k = K.key node in
-      let barrier = if Hashtbl.mem d.d_barrier_before k then [ Barrier k ] else [] in
-      let core =
-        match node with
-        | K.Kstmt (_, stmt) -> emit_stmt k stmt
-        | K.Kif (_, site, cond, tb, fb) ->
-          if Hashtbl.mem d.d_elided (s, k) then emit_nodes tb
-          else if List.mem s (needs_of k) then
-            [ If (site, cond, emit_nodes tb, emit_nodes fb) ]
-          else []
-        | K.Kwhile (_, site, cond, body) ->
-          if List.mem s (needs_of k) then
-            [ While (site, cond, emit_nodes body) ] @ cv_emits_after s k
-          else []
-        | K.Kfor (_, site, v, lo, hi, body) ->
-          if Hashtbl.mem d.d_merged (s, k) then emit_nodes body @ cv_emits_after s k
-          else if Hashtbl.mem d.d_converted (s, k) then begin
-            let primary = Hashtbl.find d.d_converted (s, k) in
-            let exit_site = Hashtbl.find d.d_exit_site (s, k) in
-            let ch =
-              match Hashtbl.find_opt d.d_var_channel primary with
-              | Some ch -> ch
-              | None -> reject "converted loop %d: primary %s has no channel" k primary
-            in
-            let q =
-              match queue_into ch s with
-              | Some q -> q
-              | None -> reject "converted loop %d: no inbound queue for %s" k primary
-            in
-            let inner = emit_nodes body in
-            (* the primary dequeue must come first *)
-            (match inner with
-            | Assign (x, Deq q') :: rest when x = primary && q' = q ->
-              if ctx.flags.f_handlers then begin
-                let cv = Printf.sprintf "__cv%d" q in
-                acc.sa_handlers <-
-                  {
-                    h_queue = q;
-                    h_cv_var = cv;
-                    h_body =
-                      [
-                        If
-                          ( fresh_site (),
-                            Binop (Eq, Ctrl_payload (Var cv), Const (Vint exit_site)),
-                            [ Exit_loops 1 ],
-                            [] );
-                      ];
-                  }
-                  :: acc.sa_handlers;
-                [ While (site, Const (Vint 1), Assign (x, Deq q) :: rest) ]
-                @ cv_emits_after s k
-              end
-              else begin
-                let body' =
-                  [
-                    Assign (x, Deq q);
-                    If
-                      ( fresh_site (),
-                        Is_control (Var x),
-                        [
-                          If
-                            ( fresh_site (),
-                              Binop (Eq, Ctrl_payload (Var x), Const (Vint exit_site)),
-                              [ Break ],
-                              [] );
-                        ],
-                        rest );
-                  ]
-                in
-                [ While (site, Const (Vint 1), body') ] @ cv_emits_after s k
-              end
-            | _ ->
-              reject "converted loop %d: primary dequeue of %s is not first" k primary)
-          end
-          else if List.mem s (needs_of k) then
-            [ For (site, v, lo, hi, emit_nodes body) ] @ cv_emits_after s k
-          else []
-      in
-      barrier @ core
-    and emit_stmt k stmt =
-      match stmt with
-      | Break | Exit_loops _ ->
-        (* structural: reached only inside control this stage emits *)
-        [ stmt ]
-      | Seq_marker _ -> []
-      | _ -> (
-        let replicated = Hashtbl.mem ctx.replicated_keys k in
-        let prefetch_here =
-          match Hashtbl.find_opt ctx.prefetch_from k with
-          | Some p when p = s -> true
-          | _ -> false
-        in
-        let owner = ctx.stage_of.(k) = s in
-        let defvar = K.stmt_def stmt in
-        let ch = Option.bind defvar (Hashtbl.find_opt d.d_var_channel) in
-        let pieces = ref [] in
-        if replicated then pieces := [ stmt ]
-        else begin
-          if prefetch_here then begin
-            match stmt with
-            | Assign (_, Load (arr, idx)) -> pieces := !pieces @ [ Prefetch (arr, idx) ]
-            | _ -> ()
-          end;
-          if owner then begin
-            (* producer side *)
-            match (defvar, ch) with
-            | Some x, Some ch when List.mem k ch.ch_def_keys ->
-              let is_ra_def =
-                ch.ch_ra <> None && Hashtbl.mem ctx.cut_head_keys k
-              in
-              if is_ra_def then begin
-                match stmt with
-                | Assign (_, Load (_, idx)) ->
-                  pieces := !pieces @ [ Enq (ch.ch_ra_in, idx) ]
-                | _ -> reject "RA def %d is not a load" k
-              end
-              else begin
-                pieces := !pieces @ [ stmt ];
-                (match ch.ch_chain with
-                | (_, q1) :: _ -> pieces := !pieces @ [ Enq (q1, Var x) ]
-                | [] -> ());
-                List.iter
-                  (fun (_, qb) -> pieces := !pieces @ [ Enq (qb, Var x) ])
-                  ch.ch_back
-              end
-            | _ -> pieces := !pieces @ [ stmt ]
-          end
-          else begin
-            (* consumer / recompute side *)
-            match defvar with
-            | Some x -> (
-              let recomputed = Hashtbl.mem d.d_recomputed (s, x) in
-              if recomputed && not (Hashtbl.mem ctx.replicated_keys k) then
-                pieces := !pieces @ [ stmt ]
-              else
-                match ch with
-                | Some ch when List.mem k ch.ch_def_keys -> (
-                  match queue_into ch s with
-                  | Some q ->
-                    pieces := !pieces @ [ Assign (x, Deq q) ];
-                    (match next_link ch s with
-                    | Some q' -> pieces := !pieces @ [ Enq (q', Var x) ]
-                    | None -> ())
-                  | None -> ())
-                | _ -> ())
-            | None -> ()
-          end
-        end;
-        !pieces)
-    in
-    let body = emit_nodes ctx.tree in
-    { s_name = Printf.sprintf "s%d" s; s_body = body; s_handlers = acc.sa_handlers }
-  in
-  let stages = List.init ctx.n_stages emit_stage in
-  let queues = List.init d.d_next_queue (fun q -> { q_id = q; q_capacity = 24 }) in
-  {
-    orig with
-    p_name = orig.p_name ^ "_phloem";
-    p_stages = stages;
-    p_queues = queues;
-    p_ras = List.rev d.d_ras;
-  }
-
-(* ---------- driver ---------- *)
-
 (* Decouple a serial pipeline at the given cuts. *)
-let split ?(flags = all_passes) (serial : pipeline) (cuts : Costmodel.cut list) : pipeline =
+let split ?(flags = all_passes) (serial : Phloem_ir.Types.pipeline)
+    (cuts : Costmodel.cut list) : Phloem_ir.Types.pipeline =
   let body =
-    match serial.p_stages with
-    | [ st ] -> st.s_body
+    match serial.Phloem_ir.Types.p_stages with
+    | [ st ] -> st.Phloem_ir.Types.s_body
     | _ -> reject "split expects a single-stage (serial) pipeline"
   in
   let tree, n_keys = Ktree.of_body (Normalize.body body) in
-  let params = List.map fst serial.p_params in
-  let ctx = build_context ~flags ~params tree n_keys cuts in
-  if ctx.n_stages < 2 then reject "no cuts selected";
+  let params = List.map fst serial.Phloem_ir.Types.p_params in
+  let ctx = Stage_assign.build_context ~flags ~params tree n_keys cuts in
+  if ctx.Stage_assign.n_stages < 2 then reject "no cuts selected";
   let d = decide ctx cuts in
-  emit ctx d ~orig:serial
+  Emit.emit ctx d ~orig:serial

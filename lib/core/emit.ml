@@ -1,0 +1,187 @@
+(* Per-stage emission for the decouple pass (phase D).
+
+   Each stage walks the full keyed tree and keeps the control skeleton it
+   needs; simple statements turn into the owner's original statement plus
+   producer-side enqueues, or a consumer-side dequeue with forward-chain
+   re-enqueue. Converted loops become while(true) with either an in-band
+   control check or a control-value handler (handlers gate). *)
+
+open Phloem_ir.Types
+module K = Ktree
+module Ctx = Stage_assign
+module C = Commplan
+
+type stage_acc = { mutable sa_handlers : handler list }
+
+let emit (ctx : Ctx.context) (d : C.decisions) ~(orig : pipeline) : pipeline =
+  let cv_emits_after s k =
+    match Hashtbl.find_opt d.C.d_cv_emits (s, k) with
+    | Some l -> List.rev_map (fun (q, site) -> Enq_ctrl (q, site)) !l
+    | None -> []
+  in
+  let emit_stage s =
+    let acc = { sa_handlers = [] } in
+    let rec emit_nodes nodes = List.concat_map emit_node nodes
+    and emit_node node =
+      let k = K.key node in
+      let barrier = if Hashtbl.mem d.C.d_barrier_before k then [ Barrier k ] else [] in
+      let core =
+        match node with
+        | K.Kstmt (_, stmt) -> emit_stmt k stmt
+        | K.Kif (_, site, cond, tb, fb) ->
+          if Hashtbl.mem d.C.d_elided (s, k) then emit_nodes tb
+          else if List.mem s (C.needs_of d k) then
+            [ If (site, cond, emit_nodes tb, emit_nodes fb) ]
+          else []
+        | K.Kwhile (_, site, cond, body) ->
+          if List.mem s (C.needs_of d k) then
+            [ While (site, cond, emit_nodes body) ] @ cv_emits_after s k
+          else []
+        | K.Kfor (_, site, v, lo, hi, body) ->
+          if Hashtbl.mem d.C.d_merged (s, k) then emit_nodes body @ cv_emits_after s k
+          else if Hashtbl.mem d.C.d_converted (s, k) then begin
+            let primary = Hashtbl.find d.C.d_converted (s, k) in
+            let exit_site = Hashtbl.find d.C.d_exit_site (s, k) in
+            let ch =
+              match Hashtbl.find_opt d.C.d_var_channel primary with
+              | Some ch -> ch
+              | None -> Pass.reject "converted loop %d: primary %s has no channel" k primary
+            in
+            let q =
+              match C.queue_into ch s with
+              | Some q -> q
+              | None -> Pass.reject "converted loop %d: no inbound queue for %s" k primary
+            in
+            let inner = emit_nodes body in
+            (* the primary dequeue must come first *)
+            (match inner with
+            | Assign (x, Deq q') :: rest when x = primary && q' = q ->
+              if ctx.Ctx.flags.Pass.f_handlers then begin
+                let cv = Printf.sprintf "__cv%d" q in
+                acc.sa_handlers <-
+                  {
+                    h_queue = q;
+                    h_cv_var = cv;
+                    h_body =
+                      [
+                        If
+                          ( fresh_site (),
+                            Binop (Eq, Ctrl_payload (Var cv), Const (Vint exit_site)),
+                            [ Exit_loops 1 ],
+                            [] );
+                      ];
+                  }
+                  :: acc.sa_handlers;
+                [ While (site, Const (Vint 1), Assign (x, Deq q) :: rest) ]
+                @ cv_emits_after s k
+              end
+              else begin
+                let body' =
+                  [
+                    Assign (x, Deq q);
+                    If
+                      ( fresh_site (),
+                        Is_control (Var x),
+                        [
+                          If
+                            ( fresh_site (),
+                              Binop (Eq, Ctrl_payload (Var x), Const (Vint exit_site)),
+                              [ Break ],
+                              [] );
+                        ],
+                        rest );
+                  ]
+                in
+                [ While (site, Const (Vint 1), body') ] @ cv_emits_after s k
+              end
+            | _ ->
+              Pass.reject "converted loop %d: primary dequeue of %s is not first" k primary)
+          end
+          else if List.mem s (C.needs_of d k) then
+            [ For (site, v, lo, hi, emit_nodes body) ] @ cv_emits_after s k
+          else []
+      in
+      barrier @ core
+    and emit_stmt k stmt =
+      match stmt with
+      | Break | Exit_loops _ ->
+        (* structural: reached only inside control this stage emits *)
+        [ stmt ]
+      | Seq_marker _ -> []
+      | _ -> (
+        let replicated = Hashtbl.mem ctx.Ctx.replicated_keys k in
+        let prefetch_here =
+          match Hashtbl.find_opt ctx.Ctx.prefetch_from k with
+          | Some p when p = s -> true
+          | _ -> false
+        in
+        let owner = ctx.Ctx.stage_of.(k) = s in
+        let defvar = K.stmt_def stmt in
+        let ch = Option.bind defvar (Hashtbl.find_opt d.C.d_var_channel) in
+        let pieces = ref [] in
+        if replicated then pieces := [ stmt ]
+        else begin
+          if prefetch_here then begin
+            match stmt with
+            | Assign (_, Load (arr, idx)) -> pieces := !pieces @ [ Prefetch (arr, idx) ]
+            | _ -> ()
+          end;
+          if owner then begin
+            (* producer side *)
+            match (defvar, ch) with
+            | Some x, Some ch when List.mem k ch.C.ch_def_keys ->
+              let is_ra_def =
+                ch.C.ch_ra <> None && Hashtbl.mem ctx.Ctx.cut_head_keys k
+              in
+              if is_ra_def then begin
+                match stmt with
+                | Assign (_, Load (_, idx)) ->
+                  pieces := !pieces @ [ Enq (ch.C.ch_ra_in, idx) ]
+                | _ -> Pass.reject "RA def %d is not a load" k
+              end
+              else begin
+                pieces := !pieces @ [ stmt ];
+                (match ch.C.ch_chain with
+                | (_, q1) :: _ -> pieces := !pieces @ [ Enq (q1, Var x) ]
+                | [] -> ());
+                List.iter
+                  (fun (_, qb) -> pieces := !pieces @ [ Enq (qb, Var x) ])
+                  ch.C.ch_back
+              end
+            | _ -> pieces := !pieces @ [ stmt ]
+          end
+          else begin
+            (* consumer / recompute side *)
+            match defvar with
+            | Some x -> (
+              let recomputed = Hashtbl.mem d.C.d_recomputed (s, x) in
+              if recomputed && not (Hashtbl.mem ctx.Ctx.replicated_keys k) then
+                pieces := !pieces @ [ stmt ]
+              else
+                match ch with
+                | Some ch when List.mem k ch.C.ch_def_keys -> (
+                  match C.queue_into ch s with
+                  | Some q ->
+                    pieces := !pieces @ [ Assign (x, Deq q) ];
+                    (match C.next_link ch s with
+                    | Some q' -> pieces := !pieces @ [ Enq (q', Var x) ]
+                    | None -> ())
+                  | None -> ())
+                | _ -> ())
+            | None -> ()
+          end
+        end;
+        !pieces)
+    in
+    let body = emit_nodes ctx.Ctx.tree in
+    { s_name = Printf.sprintf "s%d" s; s_body = body; s_handlers = acc.sa_handlers }
+  in
+  let stages = List.init ctx.Ctx.n_stages emit_stage in
+  let queues = List.init d.C.d_next_queue (fun q -> { q_id = q; q_capacity = 24 }) in
+  {
+    orig with
+    p_name = orig.p_name ^ "_phloem";
+    p_stages = stages;
+    p_queues = queues;
+    p_ras = List.rev d.C.d_ras;
+  }

@@ -1,0 +1,101 @@
+(* The compiler's registered pass list.
+
+   Each pass wraps one IR-to-IR transformation as a first-class [Pass.PASS]
+   module; [standard ~flags] assembles the list the top-level compilation
+   flows run through [Pass.Manager]. The feature gates in [Pass.flags]
+   remain orthogonal: they steer decisions *inside* the decouple pass and
+   decide whether scan-chaining is included at all. *)
+
+open Phloem_ir.Types
+
+let max_queues = 16
+let max_ras = 4
+
+let decouple : Pass.pass =
+  (module struct
+    let name = "decouple"
+    let describe = "split the serial kernel into pipeline stages at the selected cuts"
+    let run (ctx : Pass.ctx) p = Decouple.split ~flags:ctx.Pass.flags p ctx.Pass.cuts
+
+    let invariants =
+      [
+        (fun (_ : Pass.ctx) p ->
+          if List.length p.p_stages < 2 then
+            Pass.reject "decouple produced %d stage(s), expected at least 2"
+              (List.length p.p_stages));
+      ]
+  end)
+
+let scan_chain : Pass.pass =
+  (module struct
+    let name = "scan-chain"
+    let describe = "replace dequeue-pair/stream-scan stages with chained SCAN RAs"
+    let run (_ : Pass.ctx) p = Chain.chain p
+
+    let invariants =
+      [
+        (fun (_ : Pass.ctx) p ->
+          if List.length p.p_ras > max_ras then
+            Pass.reject "scan-chain allocated %d RAs (max %d)" (List.length p.p_ras)
+              max_ras);
+      ]
+  end)
+
+let cleanup : Pass.pass =
+  (module struct
+    let name = "cleanup"
+    let describe = "drop effect-free stages, orphan handlers, and dead queues/RAs"
+    let run (_ : Pass.ctx) p = Chain.cleanup p
+    let invariants = []
+  end)
+
+let check_limits : Pass.pass =
+  (module struct
+    let name = "check-limits"
+    let describe = "reject pipelines exceeding the queue and RA budgets"
+
+    let run (_ : Pass.ctx) p =
+      if List.length p.p_queues > max_queues then
+        Decouple.reject "pipeline uses %d queues (max %d)" (List.length p.p_queues)
+          max_queues;
+      if List.length p.p_ras > max_ras then
+        Decouple.reject "pipeline uses %d RAs (max %d)" (List.length p.p_ras) max_ras;
+      p
+
+    let invariants = []
+  end)
+
+let validate : Pass.pass =
+  (module struct
+    let name = "validate"
+    let describe = "structural IR validation (Phloem_ir.Validate)"
+
+    let run (_ : Pass.ctx) p =
+      Phloem_ir.Validate.check p;
+      p
+
+    let invariants = []
+  end)
+
+(* Parameterized: clone the pipeline [spec.r_replicas] times with disjoint
+   queue/RA namespaces (and optional data-centric distribution). Not part of
+   [standard]; the multicore flow appends it explicitly. *)
+let replicate (spec : Replicate.spec) : Pass.pass =
+  (module struct
+    let name = "replicate"
+
+    let describe =
+      Printf.sprintf "clone the pipeline into %d replicas" spec.Replicate.r_replicas
+
+    let run (_ : Pass.ctx) p = Replicate.apply p spec
+    let invariants = []
+  end)
+
+let () = List.iter Pass.register [ decouple; scan_chain; cleanup; check_limits; validate ]
+
+(* The standard single-pipeline compilation sequence for a given feature
+   ladder. Scan-chaining needs both the RA substrate and inter-stage DCE. *)
+let standard ~(flags : Pass.flags) : Pass.pass list =
+  [ decouple ]
+  @ (if flags.Pass.f_ra && flags.Pass.f_dce then [ scan_chain ] else [])
+  @ [ cleanup; check_limits; validate ]

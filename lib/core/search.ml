@@ -5,6 +5,7 @@
    result from the serial version are discarded. *)
 
 open Phloem_ir.Types
+module Log = Phloem_util.Log
 
 type candidate = {
   ca_cuts : Costmodel.cut list; (* program order *)
@@ -73,6 +74,8 @@ let pgo ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default) ?(top_k =
   | [] -> invalid_arg "Search.pgo: no training inputs"
   | (serial0, _) :: _ ->
     let cut_sets = enumerate_cut_sets ~top_k ~max_cuts serial0 in
+    Log.info ~component:"search" "pgo: profiling %d candidate cut sets on %d inputs"
+      (List.length cut_sets) (List.length training);
     let serial_runs =
       List.map
         (fun (serial, inputs) ->
@@ -115,13 +118,20 @@ let pgo ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default) ?(top_k =
             let speedups =
               List.map2 (fun s c -> float_of_int s /. float_of_int c) serial_cycles cycles
             in
+            let gmean = Phloem_util.Stats.gmean speedups in
+            Log.debug ~component:"search" "cuts [%s]: %d stages, gmean %.3f"
+              (String.concat ";"
+                 (List.map
+                    (fun (c : Costmodel.cut) -> string_of_int (List.hd c.cut_loads))
+                    cuts))
+              stages gmean;
             Some
               {
                 ca_cuts = cuts;
                 ca_stages = stages;
                 ca_cycles = cycles;
                 ca_speedups = speedups;
-                ca_gmean = Phloem_util.Stats.gmean speedups;
+                ca_gmean = gmean;
               })
         cut_sets
     in
@@ -133,4 +143,6 @@ let pgo ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default) ?(top_k =
           (fun acc c -> if c.ca_gmean > acc.ca_gmean then c else acc)
           (List.hd candidates) (List.tl candidates)
       in
+      Log.info ~component:"search" "pgo: best of %d legal candidates has gmean %.3f"
+        (List.length candidates) best.ca_gmean;
       { best = best.ca_cuts; all = candidates; serial_cycles })

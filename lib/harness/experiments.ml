@@ -148,7 +148,10 @@ let pgo_recipe ~scale bench =
     let bounds = List.map (fun (_, g) -> graph_bound bench g) training in
     (try Some (Runner.pgo_cuts bounds).Phloem.Search.best with _ -> None)
 
-let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
+(* Progress lines route through the structured diagnostics sink at Info so a
+   caller can silence or capture them; [run_all_experiments] raises the
+   threshold so interactive runs still show them. *)
+let progress fmt = Phloem_util.Log.info ~component:"harness" fmt
 
 let run_benchmark ~scale bench : bench_runs list =
   progress "[fig9-11] %s: profile-guided search..." bench;
@@ -444,6 +447,8 @@ let fig14 ?(scale = default_scale ()) () =
   print_string (Table.render t)
 
 let run_all_experiments ?(scale = default_scale ()) () =
+  if Phloem_util.Log.severity (Phloem_util.Log.level ()) > Phloem_util.Log.severity Phloem_util.Log.Info
+  then Phloem_util.Log.set_level Phloem_util.Log.Info;
   table3 ();
   table4 ~scale ();
   table5 ~scale ();

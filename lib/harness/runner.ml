@@ -4,6 +4,7 @@
    energy, and validates every run against the pure-OCaml reference. *)
 
 open Phloem_workloads
+module Log = Phloem_util.Log
 
 type measurement = {
   m_variant : string;
@@ -46,7 +47,13 @@ let run_one ?(cfg = Pipette.Config.default) ?thread_core (b : Workload.bound)
   | exception e -> raise (Variant_failed (variant, Printexc.to_string e))
   | r ->
     let ok = Workload.check b r.Pipette.Sim.sr_functional in
-    of_run ~variant ~serial_cycles ~ok r
+    if not ok then
+      Log.warn ~component:"runner" "%s/%s: result does not match the reference"
+        b.Workload.b_name variant;
+    let m = of_run ~variant ~serial_cycles ~ok r in
+    Log.debug ~component:"runner" "%s/%s: %d cycles, speedup %.2f" b.Workload.b_name
+      variant m.m_cycles m.m_speedup;
+    m
 
 (* The Phloem pipeline for a bound: static cost model or a provided PGO cut
    recipe (cut recipes transfer across inputs of the same kernel). *)

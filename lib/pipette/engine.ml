@@ -220,7 +220,9 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||])
         end
       done)
     threads;
-  let barrier_arrived : (int * int, (thread_state * int) list) Hashtbl.t =
+  (* Arrival count is kept alongside the list so each arrival is O(1)
+     instead of List.length per arrival (O(n^2) per barrier group). *)
+  let barrier_arrived : (int * int, int * (thread_state * int) list) Hashtbl.t =
     Hashtbl.create 8
   in
   (* Core thread lists. *)
@@ -356,10 +358,12 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||])
         end
         else if k = Trace.op_barrier then begin
           let key = (th.pa.(i), th.pb.(i)) in
-          let arrived = try Hashtbl.find barrier_arrived key with Not_found -> [] in
-          let arrived = (th, i) :: arrived in
-          Hashtbl.replace barrier_arrived key arrived;
-          if List.length arrived = Hashtbl.find barrier_total key then begin
+          let n, arrived =
+            try Hashtbl.find barrier_arrived key with Not_found -> (0, [])
+          in
+          let n = n + 1 and arrived = (th, i) :: arrived in
+          Hashtbl.replace barrier_arrived key (n, arrived);
+          if n = Hashtbl.find barrier_total key then begin
             (* all threads resume after a fixed resynchronization penalty *)
             let release = !now + 40 in
             List.iter

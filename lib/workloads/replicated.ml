@@ -281,7 +281,12 @@ let radii (g : Phloem_graph.Csr.t) ~replicas =
       r_distribute = None;
     }
   in
-  let p = Phloem.Replicate.apply base spec in
+  let manager = Phloem.Pass.Manager.create [ Phloem.Passes.replicate spec ] in
+  let p, _ =
+    Phloem.Pass.Manager.run manager
+      { Phloem.Pass.flags = Phloem.Pass.all_passes; cuts = [] }
+      base
+  in
   (* rebind the private arrays per replica: roots are partitioned *)
   let all_roots = Radii.roots g in
   let inputs =

@@ -1,0 +1,242 @@
+(* Pass-manager tests: per-pass verification over every workload, the
+   manager's report, IR snapshot dumping, the pass registry, and the
+   structured diagnostics sink. *)
+
+open Phloem_ir.Types
+module Log = Phloem_util.Log
+
+let verify_options =
+  { Phloem.Pass.default_options with verify_each = true; keep_snapshots = true }
+
+(* Every workload must compile with per-pass verification on: each
+   intermediate pipeline passes Phloem_ir.Validate and the pass invariants. *)
+let workload_serials () =
+  let g = Phloem_graph.Gen.grid ~width:14 ~height:10 ~seed:3 in
+  let a = Phloem_sparse.Gen.random ~rows:24 ~cols:24 ~nnz_per_row:3 ~seed:41 in
+  let bt = Phloem_sparse.Gen.random ~rows:24 ~cols:24 ~nnz_per_row:3 ~seed:42 in
+  let m = Phloem_sparse.Gen.banded ~n:30 ~bandwidth:6 ~nnz_per_row:4 ~seed:43 in
+  let open Phloem_workloads in
+  [
+    ("bfs", fst (Bfs.bind g).Workload.b_serial);
+    ("cc", fst (Cc.bind g).Workload.b_serial);
+    ("prd", fst (Prd.bind g).Workload.b_serial);
+    ("radii", fst (Radii.bind g).Workload.b_serial);
+    ("spmm", fst (Spmm.bind a bt).Workload.b_serial);
+    ("taco-spmv", fst (Taco_kernels.bind Taco_kernels.Spmv m).Workload.b_serial);
+    ("taco-residual", fst (Taco_kernels.bind Taco_kernels.Residual m).Workload.b_serial);
+    ("taco-mtmul", fst (Taco_kernels.bind Taco_kernels.Mtmul m).Workload.b_serial);
+    ("taco-sddmm", fst (Taco_kernels.bind Taco_kernels.Sddmm m).Workload.b_serial);
+  ]
+
+let test_workloads_verify_each () =
+  let compiled = ref 0 in
+  List.iter
+    (fun (name, serial) ->
+      match
+        Phloem.Compile.static_flow_report ~options:verify_options ~stages:4 serial
+      with
+      | p, report ->
+        incr compiled;
+        Alcotest.(check bool)
+          (name ^ " produces a multi-op pipeline")
+          true
+          (Phloem.Pass.count_ops p > 0);
+        Alcotest.(check bool)
+          (name ^ " report covers every pass")
+          true
+          (List.length report.Phloem.Pass.rep_passes >= 3);
+        List.iter
+          (fun pr ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s wall time sane" name pr.Phloem.Pass.pr_name)
+              true
+              (pr.Phloem.Pass.pr_wall_s >= 0.0 && pr.Phloem.Pass.pr_wall_s < 60.0);
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s op counts positive" name pr.Phloem.Pass.pr_name)
+              true
+              (pr.Phloem.Pass.pr_ops_before > 0 && pr.Phloem.Pass.pr_ops_after > 0);
+            match pr.Phloem.Pass.pr_snapshot with
+            | Some s ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s snapshot nonempty" name pr.Phloem.Pass.pr_name)
+                true
+                (String.length s > 0)
+            | None ->
+              Alcotest.failf "%s/%s: keep_snapshots set but no snapshot" name
+                pr.Phloem.Pass.pr_name)
+          report.Phloem.Pass.rep_passes
+      | exception Phloem.Compile.Unsupported _ ->
+        (* no legal decoupling for this kernel/input shape: acceptable, but
+           it must be a clean reject, never a Verify_failed *)
+        ()
+      | exception Phloem.Pass.Verify_failed (pass, msg) ->
+        Alcotest.failf "%s: pass %s produced invalid IR: %s" name pass msg)
+    (workload_serials ());
+  Alcotest.(check bool) "most workloads decouple" true (!compiled >= 6)
+
+(* A deliberately broken pass (enqueue to an undeclared queue) must be caught
+   by verify_each immediately after the offending pass, naming it. *)
+let broken_pass : Phloem.Pass.pass =
+  (module struct
+    let name = "inject-bad-enq"
+    let describe = "test-only: enqueue to an undeclared queue"
+
+    let run (_ : Phloem.Pass.ctx) p =
+      match p.p_stages with
+      | st :: rest ->
+        { p with p_stages = { st with s_body = Enq (999, Const (Vint 0)) :: st.s_body } :: rest }
+      | [] -> p
+
+    let invariants = []
+  end)
+
+let bfs_serial () =
+  let g = Phloem_graph.Gen.grid ~width:14 ~height:10 ~seed:3 in
+  fst (Phloem_workloads.Bfs.bind g).Phloem_workloads.Workload.b_serial
+
+let test_broken_pass_caught () =
+  let serial = bfs_serial () in
+  let cuts =
+    match Phloem.Compile.candidates serial with
+    | c :: _ -> [ c ]
+    | [] -> Alcotest.fail "BFS has no cut candidates"
+  in
+  let manager =
+    Phloem.Pass.Manager.create
+      ~options:{ Phloem.Pass.default_options with verify_each = true }
+      [ Phloem.Passes.decouple; broken_pass; Phloem.Passes.cleanup ]
+  in
+  match
+    Phloem.Pass.Manager.run manager
+      { Phloem.Pass.flags = Phloem.Pass.all_passes; cuts }
+      serial
+  with
+  | _ -> Alcotest.fail "broken pass not caught"
+  | exception Phloem.Pass.Verify_failed (pass, _) ->
+    Alcotest.(check string) "caught right after the broken pass" "inject-bad-enq" pass
+
+(* Without verify_each the same broken pipeline must sail through the manager
+   (validation only happens where a pass requests it). *)
+let test_broken_pass_unchecked () =
+  let serial = bfs_serial () in
+  let cuts =
+    match Phloem.Compile.candidates serial with c :: _ -> [ c ] | [] -> []
+  in
+  let manager =
+    Phloem.Pass.Manager.create [ Phloem.Passes.decouple; broken_pass ]
+  in
+  let p, report =
+    Phloem.Pass.Manager.run manager
+      { Phloem.Pass.flags = Phloem.Pass.all_passes; cuts }
+      serial
+  in
+  Alcotest.(check int) "both passes ran" 2 (List.length report.Phloem.Pass.rep_passes);
+  Alcotest.(check bool) "pipeline still has stages" true (p.p_stages <> [])
+
+let test_dump_ir () =
+  let serial = bfs_serial () in
+  let dir = Filename.temp_dir "phloem-ir-test" "" in
+  let options = { Phloem.Pass.default_options with dump_ir = Some dir } in
+  let _, report = Phloem.Compile.static_flow_report ~options ~stages:4 serial in
+  let files = Array.to_list (Sys.readdir dir) in
+  Alcotest.(check bool) "input snapshot written" true (List.mem "00-input.ir" files);
+  Alcotest.(check int) "one snapshot per pass plus input"
+    (1 + List.length report.Phloem.Pass.rep_passes)
+    (List.length files);
+  List.iteri
+    (fun i pr ->
+      let f = Printf.sprintf "%02d-%s.ir" (i + 1) pr.Phloem.Pass.pr_name in
+      Alcotest.(check bool) (f ^ " written") true (List.mem f files))
+    report.Phloem.Pass.rep_passes;
+  List.iter (fun f -> Sys.remove (Filename.concat dir f)) files;
+  Sys.rmdir dir
+
+let test_registry () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " registered")
+        true
+        (Phloem.Pass.find name <> None))
+    [ "decouple"; "scan-chain"; "cleanup"; "check-limits"; "validate" ];
+  Alcotest.(check bool) "unknown pass absent" true (Phloem.Pass.find "nonesuch" = None);
+  let std = List.map Phloem.Pass.name_of (Phloem.Passes.standard ~flags:Phloem.Pass.all_passes) in
+  Alcotest.(check (list string)) "standard order (all gates)"
+    [ "decouple"; "scan-chain"; "cleanup"; "check-limits"; "validate" ]
+    std;
+  let min = List.map Phloem.Pass.name_of (Phloem.Passes.standard ~flags:Phloem.Pass.queues_only) in
+  Alcotest.(check (list string)) "standard order (queues only)"
+    [ "decouple"; "cleanup"; "check-limits"; "validate" ]
+    min
+
+let test_report_to_string () =
+  let serial = bfs_serial () in
+  let _, report = Phloem.Compile.static_flow_report ~stages:4 serial in
+  let s = Phloem.Pass.report_to_string report in
+  List.iter
+    (fun pr ->
+      let re = Str.regexp_string pr.Phloem.Pass.pr_name in
+      Alcotest.(check bool)
+        (pr.Phloem.Pass.pr_name ^ " appears in rendering")
+        true
+        (try
+           ignore (Str.search_forward re s 0);
+           true
+         with Not_found -> false))
+    report.Phloem.Pass.rep_passes
+
+(* --- structured diagnostics --- *)
+
+let test_log_levels () =
+  let _, records =
+    Log.with_capture ~level:Log.Info (fun () ->
+        Log.debug ~component:"t" "dropped %d" 1;
+        Log.info ~component:"t" "kept %d" 2;
+        Log.warn ~component:"t" "kept %d" 3;
+        Log.error ~component:"t" "kept %d" 4)
+  in
+  Alcotest.(check int) "debug filtered below Info" 3 (List.length records);
+  Alcotest.(check (list string)) "messages in order"
+    [ "kept 2"; "kept 3"; "kept 4" ]
+    (List.map (fun r -> r.Log.r_message) records);
+  Alcotest.(check bool) "components recorded" true
+    (List.for_all (fun r -> r.Log.r_component = "t") records)
+
+let test_log_capture_restores () =
+  let before_level = Log.level () in
+  let (), inner = Log.with_capture (fun () -> Log.debug "inner %s" "x") in
+  Alcotest.(check int) "captured at Debug" 1 (List.length inner);
+  Alcotest.(check bool) "level restored" true (Log.level () = before_level);
+  (* after capture, the default sink is back: nothing is appended to the
+     captured list anymore *)
+  Log.set_level Log.Error;
+  Log.warn "not captured";
+  Log.set_level before_level;
+  Alcotest.(check int) "sink restored" 1 (List.length inner)
+
+let test_manager_logs_debug () =
+  let serial = bfs_serial () in
+  let _, records =
+    Log.with_capture ~level:Log.Debug (fun () ->
+        ignore (Phloem.Compile.static_flow ~stages:4 serial))
+  in
+  Alcotest.(check bool) "pass component logged" true
+    (List.exists (fun r -> r.Log.r_component = "pass") records)
+
+let suite =
+  [
+    Alcotest.test_case "workloads compile under verify-each" `Quick
+      test_workloads_verify_each;
+    Alcotest.test_case "broken pass caught between stages" `Quick
+      test_broken_pass_caught;
+    Alcotest.test_case "broken pass ignored without verify-each" `Quick
+      test_broken_pass_unchecked;
+    Alcotest.test_case "dump-ir writes numbered snapshots" `Quick test_dump_ir;
+    Alcotest.test_case "pass registry" `Quick test_registry;
+    Alcotest.test_case "report rendering" `Quick test_report_to_string;
+    Alcotest.test_case "log level filtering" `Quick test_log_levels;
+    Alcotest.test_case "log capture restores state" `Quick test_log_capture_restores;
+    Alcotest.test_case "manager emits debug diagnostics" `Quick test_manager_logs_debug;
+  ]
+
+let () = Alcotest.run "passes" [ ("passes", suite) ]
