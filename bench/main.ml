@@ -7,7 +7,8 @@
      dune exec bench/main.exe fig9            # one experiment
      dune exec bench/main.exe table3 fig6 ...
      PHLOEM_SCALE=0.5 dune exec bench/main.exe  # smaller inputs
-     dune exec bench/main.exe micro           # Bechamel microbenches only *)
+     dune exec bench/main.exe micro           # Bechamel microbenches only
+     dune exec bench/main.exe --json out.json # fig9-11 data as JSON *)
 
 let micro () =
   print_endline "\n==== Bechamel micro-benchmarks (simulator primitives) ====";
@@ -80,10 +81,24 @@ let micro () =
     (fun t -> benchmark (Bechamel.Test.make_grouped ~name:"pipette" [ t ]))
     [ test_prng; test_cache; test_predictor; test_interp; test_compile ]
 
+(* Extract "--json FILE" / "--json=FILE" from the argument list. *)
+let rec extract_json = function
+  | [] -> (None, [])
+  | "--json" :: file :: rest ->
+    let _, others = extract_json rest in
+    (Some file, others)
+  | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--json=" ->
+    let _, others = extract_json rest in
+    (Some (String.sub arg 7 (String.length arg - 7)), others)
+  | arg :: rest ->
+    let file, others = extract_json rest in
+    (file, arg :: others)
+
 let () =
   let module E = Phloem_harness.Experiments in
   let scale = E.default_scale () in
   let args = Array.to_list Sys.argv |> List.tl in
+  let json_file, args = extract_json args in
   let dispatch = function
     | "table3" -> E.table3 ()
     | "table4" -> E.table4 ~scale ()
@@ -98,8 +113,12 @@ let () =
     | "micro" -> micro ()
     | other -> Printf.eprintf "unknown experiment %s\n" other
   in
-  match args with
-  | [] ->
+  match (json_file, args) with
+  | Some file, [] -> ignore (E.write_json_report ~scale ~file ())
+  | Some file, args ->
+    ignore (E.write_json_report ~scale ~file ());
+    List.iter dispatch args
+  | None, [] ->
     E.run_all_experiments ~scale ();
     micro ()
-  | args -> List.iter dispatch args
+  | None, args -> List.iter dispatch args

@@ -1,5 +1,8 @@
 (* simulate: run one benchmark / variant / input on the Pipette model and
-   report cycles, IPC, breakdowns and energy. *)
+   report cycles, IPC, breakdowns and energy — as text, and optionally as a
+   machine-readable JSON report (--json) and a Chrome trace-event file
+   (--trace-out) with per-thread stall timelines and queue-occupancy
+   counter tracks. *)
 
 open Cmdliner
 open Phloem_workloads
@@ -7,6 +10,9 @@ open Phloem_workloads
 let graph_names =
   [ "internet"; "USA-road-d-NY"; "coAuthorsDBLP"; "hugetrace-00000"; "Freescale1";
     "as-Skitter"; "USA-road-d-USA" ]
+
+let matrix_names =
+  List.map (fun i -> i.Phloem_sparse.Inputs.name) (Phloem_sparse.Inputs.all ())
 
 let bind_bench bench input scale =
   match bench with
@@ -20,9 +26,13 @@ let bind_bench bench input scale =
     | "prd" -> Prd.bind g
     | _ -> Radii.bind g)
   | "spmm" ->
+    if not (List.mem input matrix_names) then
+      failwith (Printf.sprintf "unknown matrix %s" input);
     let m = Lazy.force (Phloem_sparse.Inputs.find ~scale:(0.12 *. scale) input).Phloem_sparse.Inputs.matrix in
     Spmm.bind m (Phloem_sparse.Csr_matrix.transpose m)
   | "spmv" | "residual" | "mtmul" | "sddmm" ->
+    if not (List.mem input matrix_names) then
+      failwith (Printf.sprintf "unknown matrix %s" input);
     let m = Lazy.force (Phloem_sparse.Inputs.find ~scale:(0.35 *. scale) input).Phloem_sparse.Inputs.matrix in
     let kind =
       match bench with
@@ -34,7 +44,10 @@ let bind_bench bench input scale =
     Taco_kernels.bind kind m
   | other -> failwith (Printf.sprintf "unknown benchmark %s" other)
 
-let simulate bench variant input scale =
+(* Empty traces report 0 cycles; keep the derived ratios finite. *)
+let fdiv a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+
+let simulate bench variant input scale json_out trace_out sample_interval =
   let b = bind_bench bench input scale in
   let serial_p, serial_in = b.Workload.b_serial in
   let sr = Pipette.Sim.run ~inputs:serial_in serial_p in
@@ -50,16 +63,21 @@ let simulate bench variant input scale =
       | None -> failwith "no manual pipeline for this benchmark")
     | other -> failwith (Printf.sprintf "unknown variant %s" other)
   in
-  let r = Pipette.Sim.run ~inputs p in
+  let telemetry =
+    if json_out <> None || trace_out <> None then
+      Some (Pipette.Telemetry.create ~interval:sample_interval ())
+    else None
+  in
+  let r = Pipette.Sim.run ~inputs ?telemetry p in
   let t = r.Pipette.Sim.sr_timing in
   let ok = Workload.check b r.Pipette.Sim.sr_functional in
   Printf.printf "%s / %s on %s\n" b.Workload.b_name variant input;
   Printf.printf "  result valid vs reference : %b\n" ok;
   Printf.printf "  cycles                    : %d\n" t.Pipette.Engine.cycles;
   Printf.printf "  micro-ops                 : %d (IPC %.2f)\n" t.Pipette.Engine.instrs
-    (float_of_int t.Pipette.Engine.instrs /. float_of_int t.Pipette.Engine.cycles);
+    (fdiv t.Pipette.Engine.instrs t.Pipette.Engine.cycles);
   Printf.printf "  speedup over serial       : %.2fx\n"
-    (float_of_int serial_cycles /. float_of_int t.Pipette.Engine.cycles);
+    (fdiv serial_cycles t.Pipette.Engine.cycles);
   Printf.printf "  thread-cycles: issue %d, backend %d, queue %d, other %d\n"
     t.Pipette.Engine.issue_cycles t.Pipette.Engine.backend_cycles
     t.Pipette.Engine.queue_cycles t.Pipette.Engine.other_cycles;
@@ -70,10 +88,45 @@ let simulate bench variant input scale =
   Printf.printf "  DRAM accesses: %d; queue ops: %d; RA fetches: %d\n"
     t.Pipette.Engine.cache.Pipette.Cache.c_dram t.Pipette.Engine.queue_ops
     t.Pipette.Engine.ra_fetches;
+  Printf.printf "  prefetches: %d (%d cache hits, %d DRAM fills)\n"
+    t.Pipette.Engine.cache.Pipette.Cache.c_prefetches
+    t.Pipette.Engine.cache.Pipette.Cache.c_prefetch_hits
+    t.Pipette.Engine.cache.Pipette.Cache.c_prefetch_dram;
   let e = r.Pipette.Sim.sr_energy in
   Printf.printf "  energy (nJ): core %.0f, memory %.0f, queues+RA %.0f, static %.0f\n"
     e.Pipette.Energy.e_core_dynamic e.Pipette.Energy.e_memory
     e.Pipette.Energy.e_queues_ras e.Pipette.Energy.e_static;
+  (match json_out with
+  | None -> ()
+  | Some file ->
+    let open Pipette.Telemetry.Json in
+    let meta =
+      [
+        ("bench", Str bench);
+        ("variant", Str variant);
+        ("input", Str input);
+        ("scale", Float scale);
+        ("valid", Bool ok);
+        ("serial_cycles", Int serial_cycles);
+        ("speedup", Float (fdiv serial_cycles t.Pipette.Engine.cycles));
+      ]
+    in
+    let core =
+      match Pipette.Sim.json_of_run r with Obj fields -> fields | j -> [ ("run", j) ]
+    in
+    let tel =
+      match telemetry with
+      | Some tel -> [ ("telemetry", Pipette.Telemetry.report_json tel) ]
+      | None -> []
+    in
+    to_file file (Obj (meta @ core @ tel));
+    Printf.printf "  JSON report written to %s\n" file);
+  (match (trace_out, telemetry) with
+  | Some file, Some tel ->
+    Pipette.Telemetry.write_trace_file tel file;
+    Printf.printf "  Chrome trace written to %s (load in chrome://tracing or Perfetto)\n"
+      file
+  | _ -> ());
   if ok then 0 else 2
 
 let bench_arg =
@@ -92,9 +145,30 @@ let input_arg =
 
 let scale_arg = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"input scale factor")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"write a machine-readable JSON report to $(docv)")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"write a Chrome trace-event file (chrome://tracing / Perfetto) to $(docv)")
+
+let interval_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "sample-interval" ] ~docv:"N"
+        ~doc:"telemetry sampling interval in cycles (with --json / --trace-out)")
+
 let cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"run one benchmark variant on the Pipette simulator")
-    Term.(const simulate $ bench_arg $ variant_arg $ input_arg $ scale_arg)
+    Term.(
+      const simulate $ bench_arg $ variant_arg $ input_arg $ scale_arg $ json_arg
+      $ trace_arg $ interval_arg)
 
 let () = exit (Cmd.eval' cmd)

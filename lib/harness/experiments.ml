@@ -180,6 +180,42 @@ let collect ?(scale = default_scale ()) () =
 let gmean_of sel (runs : bench_runs list) =
   Stats.gmean (List.map (fun r -> sel r.br_runs) runs)
 
+(* Machine-readable form of a full collection (the Fig. 9-11 data): one
+   entry per benchmark, one run record per input and variant. *)
+let json_of_collection (all : (string * bench_runs list) list) :
+    Pipette.Telemetry.Json.t =
+  let open Pipette.Telemetry.Json in
+  Obj
+    [
+      ( "benchmarks",
+        List
+          (List.map
+             (fun (bench, runs) ->
+               Obj
+                 [
+                   ("benchmark", Str bench);
+                   ( "inputs",
+                     List
+                       (List.map
+                          (fun r ->
+                            Obj
+                              [
+                                ("input", Str r.br_input);
+                                ("runs", Runner.json_of_all_runs r.br_runs);
+                              ])
+                          runs) );
+                 ])
+             all) );
+    ]
+
+(* Run the full fig9-11 collection and write it as JSON; the substrate for
+   scripted/CI consumption of the evaluation. *)
+let write_json_report ?(scale = default_scale ()) ~file () =
+  let all = collect ~scale () in
+  Pipette.Telemetry.Json.to_file file (json_of_collection all);
+  progress "[json] evaluation report written to %s" file;
+  all
+
 let fig9 ?(all = None) ?(scale = default_scale ()) () =
   section "Fig. 9: per-benchmark speedup over serial (gmean across inputs)";
   let all = match all with Some a -> a | None -> collect ~scale () in

@@ -39,6 +39,37 @@ let of_run ~variant ~serial_cycles ~ok (r : Pipette.Sim.run) =
       + Array.length r.Pipette.Sim.sr_functional.Phloem_ir.Interp.r_trace.Phloem_ir.Trace.ras;
   }
 
+(* Machine-readable form of a measurement, for --json reports and CI. *)
+let json_of_measurement (m : measurement) : Pipette.Telemetry.Json.t =
+  let open Pipette.Telemetry.Json in
+  let e = m.m_energy in
+  Obj
+    [
+      ("variant", Str m.m_variant);
+      ("cycles", Int m.m_cycles);
+      ("instrs", Int m.m_instrs);
+      ("speedup", Float m.m_speedup);
+      ("valid", Bool m.m_ok);
+      ("stages", Int m.m_stages);
+      ( "breakdown_vs_serial",
+        Obj
+          [
+            ("issue", Float m.m_issue);
+            ("backend", Float m.m_backend);
+            ("queue", Float m.m_queue);
+            ("other", Float m.m_other);
+          ] );
+      ( "energy_nj",
+        Obj
+          [
+            ("core_dynamic", Float e.Pipette.Energy.e_core_dynamic);
+            ("memory", Float e.Pipette.Energy.e_memory);
+            ("queues_ras", Float e.Pipette.Energy.e_queues_ras);
+            ("static", Float e.Pipette.Energy.e_static);
+            ("total", Float (Pipette.Energy.total e));
+          ] );
+    ]
+
 exception Variant_failed of string * string
 
 let run_one ?(cfg = Pipette.Config.default) ?thread_core (b : Workload.bound)
@@ -70,6 +101,18 @@ type all_runs = {
   phloem_pgo : measurement option;
   manual : measurement option;
 }
+
+let json_of_all_runs (a : all_runs) : Pipette.Telemetry.Json.t =
+  let open Pipette.Telemetry.Json in
+  let opt = function Some m -> json_of_measurement m | None -> Null in
+  Obj
+    [
+      ("serial", json_of_measurement a.serial);
+      ("data_parallel", json_of_measurement a.data_parallel);
+      ("phloem_static", json_of_measurement a.phloem_static);
+      ("phloem_pgo", opt a.phloem_pgo);
+      ("manual", opt a.manual);
+    ]
 
 let run_all ?(cfg = Pipette.Config.default) ?(threads = 4) ?pgo_cuts
     (b : Workload.bound) : all_runs =

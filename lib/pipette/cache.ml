@@ -42,6 +42,11 @@ type t = {
   l3 : level;
   dram : dram;
   inflight : (int, int) Hashtbl.t; (* line -> availability time *)
+  (* Prefetches are accounted separately so the per-level hit/miss counters
+     and [dram.accesses] stay demand-only. *)
+  mutable prefetches_issued : int;
+  mutable prefetch_hits : int; (* line was already resident in some level *)
+  mutable prefetch_dram : int; (* prefetch fills that went to DRAM *)
 }
 
 type access_result = { latency : int; level_hit : int (* 1..3, 4 = DRAM *) }
@@ -65,6 +70,9 @@ let create (cfg : Config.t) =
         accesses = 0;
       };
     inflight = Hashtbl.create 64;
+    prefetches_issued = 0;
+    prefetch_hits = 0;
+    prefetch_dram = 0;
   }
 
 (* Lookup a line in a level; on hit, refresh LRU and return true. *)
@@ -98,12 +106,18 @@ let insert lvl line =
   lvl.tags.(base + !victim) <- line;
   lvl.lru.(base + !victim) <- lvl.stamp
 
-let dram_access d line ~now =
-  d.accesses <- d.accesses + 1;
+(* Occupy a DRAM controller slot and return the transfer latency, without
+   touching the demand access counter (prefetch fills share the same
+   bandwidth but are counted separately). *)
+let dram_occupy d line ~now =
   let ctrl = line mod Array.length d.next_free in
   let start = max now d.next_free.(ctrl) in
   d.next_free.(ctrl) <- start + d.cycles_per_line;
   start - now + d.min_latency
+
+let dram_access d line ~now =
+  d.accesses <- d.accesses + 1;
+  dram_occupy d line ~now
 
 (* A demand access from [core] at cycle [now]. Fills all levels on the way
    back (inclusive). Returns the load-to-use latency. *)
@@ -138,21 +152,72 @@ let access t ~core ~addr ~now =
     base_lat
   | None -> base_lat
 
-(* A software/compiler prefetch: brings the line in but records when it
-   actually arrives, so immediate demand accesses pay the residue. *)
+(* Probe a level without touching its hit/miss counters; refreshes LRU on a
+   hit exactly like a demand lookup would. *)
+let probe lvl line =
+  let set = line mod lvl.sets in
+  let base = set * lvl.ways in
+  let rec find w =
+    if w >= lvl.ways then None
+    else if lvl.tags.(base + w) = line then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+    lvl.stamp <- lvl.stamp + 1;
+    lvl.lru.(base + w) <- lvl.stamp;
+    true
+  | None -> false
+
+(* Bring a line into every level without touching any demand or prefetch
+   counter — the "no-op that still fills". Returns the fill latency and
+   whether the line was already resident in some cache level. Replacement
+   state changes exactly as it would for a demand access to the same line. *)
+let fill t ~core ~addr ~now =
+  let line = addr lsr t.line_shift in
+  let l1 = t.l1s.(core) and l2 = t.l2s.(core) in
+  if probe l1 line then (l1.latency, true)
+  else if probe l2 line then begin
+    insert l1 line;
+    (l2.latency, true)
+  end
+  else if probe t.l3 line then begin
+    insert l2 line;
+    insert l1 line;
+    (t.l3.latency, true)
+  end
+  else begin
+    let lat = dram_occupy t.dram line ~now in
+    insert t.l3 line;
+    insert l2 line;
+    insert l1 line;
+    (max lat t.l3.latency, false)
+  end
+
+(* A software/compiler prefetch: brings the line in through its own
+   lookup/fill path (demand hit/miss and DRAM counters are unaffected) and
+   records when it actually arrives, so immediate demand accesses pay the
+   residue. *)
 let prefetch t ~core ~addr ~now =
   let line = addr lsr t.line_shift in
-  let r = access t ~core ~addr ~now in
-  if r.level_hit > 1 then Hashtbl.replace t.inflight line (now + r.latency)
+  t.prefetches_issued <- t.prefetches_issued + 1;
+  let latency, resident = fill t ~core ~addr ~now in
+  if resident then t.prefetch_hits <- t.prefetch_hits + 1
+  else t.prefetch_dram <- t.prefetch_dram + 1;
+  if latency > t.l1s.(core).latency then
+    Hashtbl.replace t.inflight line (now + latency)
 
 type counters = {
-  c_l1_hits : int;
+  c_l1_hits : int; (* demand accesses only; prefetches counted separately *)
   c_l1_misses : int;
   c_l2_hits : int;
   c_l2_misses : int;
   c_l3_hits : int;
   c_l3_misses : int;
   c_dram : int;
+  c_prefetches : int;
+  c_prefetch_hits : int;
+  c_prefetch_dram : int;
 }
 
 let counters t =
@@ -165,4 +230,7 @@ let counters t =
     c_l3_hits = t.l3.hits;
     c_l3_misses = t.l3.misses;
     c_dram = t.dram.accesses;
+    c_prefetches = t.prefetches_issued;
+    c_prefetch_hits = t.prefetch_hits;
+    c_prefetch_dram = t.prefetch_dram;
   }

@@ -22,7 +22,11 @@ let of_result ?(model = Config.default_energy) (r : Engine.result) : breakdown =
       (float_of_int l1_accesses *. model.Config.e_l1)
       +. (float_of_int l2_accesses *. model.Config.e_l2)
       +. (float_of_int l3_accesses *. model.Config.e_l3)
-      +. (float_of_int c.Cache.c_dram *. model.Config.e_dram);
+      +. (float_of_int c.Cache.c_dram *. model.Config.e_dram)
+      (* prefetches no longer appear in the demand counters, but their tag
+         probes and DRAM fills still burn real energy *)
+      +. (float_of_int c.Cache.c_prefetches *. model.Config.e_l1)
+      +. (float_of_int c.Cache.c_prefetch_dram *. model.Config.e_dram);
     e_queues_ras =
       (float_of_int r.Engine.queue_ops *. model.Config.e_queue_op)
       +. (float_of_int r.Engine.ra_fetches *. model.Config.e_ra_op);

@@ -99,7 +99,7 @@ let default_thread_core (cfg : Config.t) n_threads =
              n_threads cfg.n_cores cfg.smt_threads);
       core)
 
-let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||])
+let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
     (p : Types.pipeline) (trace : Trace.t) : result =
   let n_threads = Array.length trace.Trace.threads in
   let thread_core =
@@ -233,8 +233,64 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||])
     Array.fold_left (fun acc c -> if Array.length c > 0 then acc + 1 else acc) 0 cores
   in
   let queue_ops = ref 0 in
+  let total_dispatched = ref 0 in
   let now = ref 0 in
   let progress = ref false in
+
+  (* Telemetry probes: queue occupancy and RA outstanding fetches are gauges
+     (also exported as Chrome counter tracks); everything cumulative is a
+     counter, sampled as deltas. The default [None] path costs one match per
+     hook site and allocates nothing. *)
+  (match telemetry with
+  | None -> ()
+  | Some tel ->
+    let stage_names = Array.of_list (List.map (fun (s : Types.stage) -> s.Types.s_name) p.Types.p_stages) in
+    Array.iteri
+      (fun i th ->
+        let name =
+          if i < Array.length stage_names then stage_names.(i)
+          else Printf.sprintf "thread%d" i
+        in
+        Telemetry.set_thread_meta tel ~thread:i ~core:th.th_core ~name)
+      threads;
+    Array.iteri
+      (fun q qs ->
+        if q < n_queues then
+          Telemetry.register_gauge tel
+            ~name:(Printf.sprintf "queue%d.occupancy" q)
+            (fun () -> qs.occupancy))
+      queues;
+    Array.iteri
+      (fun r ra ->
+        Telemetry.register_gauge tel
+          ~name:(Printf.sprintf "ra%d.outstanding" r)
+          (fun () -> ra.outstanding);
+        Telemetry.register_counter tel
+          ~name:(Printf.sprintf "ra%d.fetches" r)
+          (fun () -> ra.fetches))
+      ras;
+    Array.iter
+      (fun th ->
+        let n name read = Telemetry.register_counter tel ~name:(Printf.sprintf "thread%d.%s" th.th_id name) read in
+        n "issue_cycles" (fun () -> th.cy_issue);
+        n "backend_cycles" (fun () -> th.cy_backend);
+        n "queue_cycles" (fun () -> th.cy_queue);
+        n "other_cycles" (fun () -> th.cy_other);
+        n "retired" (fun () -> th.retire_ptr))
+      threads;
+    let c name read = Telemetry.register_counter tel ~name read in
+    c "cache.l1_hits" (fun () -> (Cache.counters caches).Cache.c_l1_hits);
+    c "cache.l1_misses" (fun () -> (Cache.counters caches).Cache.c_l1_misses);
+    c "cache.l2_hits" (fun () -> (Cache.counters caches).Cache.c_l2_hits);
+    c "cache.l2_misses" (fun () -> (Cache.counters caches).Cache.c_l2_misses);
+    c "cache.l3_hits" (fun () -> (Cache.counters caches).Cache.c_l3_hits);
+    c "cache.l3_misses" (fun () -> (Cache.counters caches).Cache.c_l3_misses);
+    c "cache.dram" (fun () -> (Cache.counters caches).Cache.c_dram);
+    c "cache.prefetches" (fun () -> (Cache.counters caches).Cache.c_prefetches);
+    c "branch.lookups" (fun () -> pred.Predictor.lookups);
+    c "branch.mispredicts" (fun () -> pred.Predictor.mispredicts);
+    c "engine.queue_ops" (fun () -> !queue_ops);
+    c "engine.dispatched" (fun () -> !total_dispatched));
 
   let dep_met th d = d = Trace.no_dep || th.comp.(d) <= !now in
   let deps_met th i = dep_met th th.dep1.(i) && dep_met th th.dep2.(i) && dep_met th th.dep3.(i) in
@@ -272,6 +328,9 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||])
     done;
     if th.retire_ptr >= th.n_ops && not th.done_ then begin
       th.done_ <- true;
+      (match telemetry with
+      | Some tel -> Telemetry.end_thread_state tel ~thread:th.th_id ~cycle:!now
+      | None -> ());
       progress := true
     end
   in
@@ -362,9 +421,11 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||])
             try Hashtbl.find barrier_arrived key with Not_found -> (0, [])
           in
           let n = n + 1 and arrived = (th, i) :: arrived in
-          Hashtbl.replace barrier_arrived key (n, arrived);
           if n = Hashtbl.find barrier_total key then begin
-            (* all threads resume after a fixed resynchronization penalty *)
+            (* all threads resume after a fixed resynchronization penalty;
+               the group is complete, so drop its arrival state rather than
+               retaining every (thread, op) list for the whole run *)
+            Hashtbl.remove barrier_arrived key;
             let release = !now + 40 in
             List.iter
               (fun (th', i') ->
@@ -374,7 +435,10 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||])
             (* comp already set; mark latency 0 sentinel below *)
             (true, -1)
           end
-          else (true, -2) (* arrived; completion set when group completes *)
+          else begin
+            Hashtbl.replace barrier_arrived key (n, arrived);
+            (true, -2) (* arrived; completion set when group completes *)
+          end
         end
         else (true, 1)
       in
@@ -558,15 +622,27 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||])
       end
     end
   in
+  let state_name = function
+    | Sc_issue -> "issue"
+    | Sc_backend -> "backend"
+    | Sc_queue -> "queue"
+    | Sc_other -> "other"
+  in
   let account delta =
     Array.iter
       (fun th ->
-        if not th.done_ then
-          match classify th with
+        if not th.done_ then begin
+          let sc = classify th in
+          (match sc with
           | Sc_issue -> th.cy_issue <- th.cy_issue + delta
           | Sc_backend -> th.cy_backend <- th.cy_backend + delta
           | Sc_queue -> th.cy_queue <- th.cy_queue + delta
-          | Sc_other -> th.cy_other <- th.cy_other + delta)
+          | Sc_other -> th.cy_other <- th.cy_other + delta);
+          match telemetry with
+          | Some tel ->
+            Telemetry.set_thread_state tel ~thread:th.th_id ~cycle:!now (state_name sc)
+          | None -> ()
+        end)
       threads
   in
 
@@ -599,21 +675,32 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||])
               budget := !budget - (before - !slice)
             end
           done;
-          (* leftover bandwidth goes to the first thread that can use it *)
-          for off = 0 to nth - 1 do
-            let th = core_threads.((start + off) mod nth) in
-            if (not th.done_) && !budget > 0 then begin
+          (* leftover bandwidth flows to the threads that can still use it,
+             in the same round-robin order, until it is exhausted *)
+          let off = ref 0 in
+          while !budget > 0 && !off < nth do
+            let th = core_threads.((start + !off) mod nth) in
+            if not th.done_ then begin
               let slice = ref !budget in
               let before = !slice in
               dispatch th slice;
               budget := !budget - (before - !slice)
-            end
-          done
+            end;
+            incr off
+          done;
+          (* per-cycle dispatch-bandwidth conservation: a core can never
+             dispatch more than its front-end width in one cycle *)
+          let used = cfg.dispatch_width - !budget in
+          assert (used >= 0 && used <= cfg.dispatch_width);
+          total_dispatched := !total_dispatched + used
         end)
       cores;
     Array.iter issue_core cores;
     Array.iter advance_ra ras;
     account 1;
+    (match telemetry with
+    | Some tel -> Telemetry.maybe_sample tel ~cycle:!now
+    | None -> ());
     if !progress then begin
       incr now;
       guard := 0
@@ -645,6 +732,9 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||])
         incr now
     end
   done;
+  (match telemetry with
+  | Some tel -> Telemetry.finish tel ~cycle:!now
+  | None -> ());
   let sum f = Array.fold_left (fun acc th -> acc + f th) 0 threads in
   {
     cycles = !now;

@@ -87,7 +87,8 @@ let ra_cores (p : Types.pipeline) (thread_core : int array) =
   in
   Array.map (fun (r : Types.ra_config) -> core_for_out r.Types.ra_out 0) ras
 
-let run ?(cfg = Config.default) ?thread_core ?(inputs = []) (p : Types.pipeline) : run =
+let run ?(cfg = Config.default) ?thread_core ?(inputs = []) ?telemetry
+    (p : Types.pipeline) : run =
   Validate.check p;
   let functional = Interp.run ~inputs p in
   let tc =
@@ -96,6 +97,63 @@ let run ?(cfg = Config.default) ?thread_core ?(inputs = []) (p : Types.pipeline)
     | None -> Engine.default_thread_core cfg (List.length p.Types.p_stages)
   in
   let timing =
-    Engine.run ~cfg ~thread_core:tc ~ra_core:(ra_cores p tc) p functional.Interp.r_trace
+    Engine.run ~cfg ~thread_core:tc ~ra_core:(ra_cores p tc) ?telemetry p
+      functional.Interp.r_trace
   in
   { sr_functional = functional; sr_timing = timing; sr_energy = Energy.of_result timing }
+
+(* Machine-readable report of one run's aggregate counters. The numbers here
+   must equal the plain-text report printed by the CLI tools: both read the
+   same [Engine.result] fields. *)
+let json_of_run (r : run) : Telemetry.Json.t =
+  let open Telemetry.Json in
+  let t = r.sr_timing and e = r.sr_energy in
+  let c = t.Engine.cache in
+  let fdiv a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  Obj
+    [
+      ("cycles", Int t.Engine.cycles);
+      ("instrs", Int t.Engine.instrs);
+      ("ipc", Float (fdiv t.Engine.instrs t.Engine.cycles));
+      ("n_threads", Int t.Engine.n_threads);
+      ("n_cores_used", Int t.Engine.n_cores_used);
+      ( "breakdown",
+        Obj
+          [
+            ("issue_cycles", Int t.Engine.issue_cycles);
+            ("backend_cycles", Int t.Engine.backend_cycles);
+            ("queue_cycles", Int t.Engine.queue_cycles);
+            ("other_cycles", Int t.Engine.other_cycles);
+          ] );
+      ( "cache",
+        Obj
+          [
+            ("l1_hits", Int c.Cache.c_l1_hits);
+            ("l1_misses", Int c.Cache.c_l1_misses);
+            ("l2_hits", Int c.Cache.c_l2_hits);
+            ("l2_misses", Int c.Cache.c_l2_misses);
+            ("l3_hits", Int c.Cache.c_l3_hits);
+            ("l3_misses", Int c.Cache.c_l3_misses);
+            ("dram_accesses", Int c.Cache.c_dram);
+            ("prefetches", Int c.Cache.c_prefetches);
+            ("prefetch_hits", Int c.Cache.c_prefetch_hits);
+            ("prefetch_dram", Int c.Cache.c_prefetch_dram);
+          ] );
+      ( "branches",
+        Obj
+          [
+            ("lookups", Int t.Engine.branch_lookups);
+            ("mispredicts", Int t.Engine.branch_mispredicts);
+          ] );
+      ("queue_ops", Int t.Engine.queue_ops);
+      ("ra_fetches", Int t.Engine.ra_fetches);
+      ( "energy_nj",
+        Obj
+          [
+            ("core_dynamic", Float e.Energy.e_core_dynamic);
+            ("memory", Float e.Energy.e_memory);
+            ("queues_ras", Float e.Energy.e_queues_ras);
+            ("static", Float e.Energy.e_static);
+            ("total", Float (Energy.total e));
+          ] );
+    ]

@@ -21,11 +21,20 @@ val run :
   ?cfg:Config.t ->
   ?thread_core:int array ->
   ?inputs:(string * Phloem_ir.Types.value array) list ->
+  ?telemetry:Telemetry.t ->
   Phloem_ir.Types.pipeline ->
   run
 (** [run p] validates and simulates [p]. [inputs] binds array contents by
     name (missing arrays are zero-initialized); [thread_core] maps stage
-    index to core (default: packed, [Config.smt_threads] per core).
+    index to core (default: packed, [Config.smt_threads] per core);
+    [telemetry], when given, is wired into the timing replay (interval
+    samples, stall-class timelines, Chrome trace export) — the default path
+    pays no observability cost.
     @raise Phloem_ir.Validate.Invalid on malformed pipelines
     @raise Phloem_ir.Interp.Runtime_error on execution errors
     @raise Phloem_ir.Interp.Deadlock if the queue network deadlocks *)
+
+val json_of_run : run -> Telemetry.Json.t
+(** Machine-readable report of a run's aggregate counters (cycles, IPC,
+    cycle breakdown, cache/branch/queue/RA counters, energy). The values
+    equal the plain-text reports printed by the CLI tools. *)

@@ -1,0 +1,314 @@
+(* Observability layer for the timing engine: a counter/gauge registry with
+   periodic interval sampling, per-thread state (stall-class) timelines, and
+   exporters for machine-readable JSON reports and Chrome trace-event files
+   (loadable in chrome://tracing or Perfetto).
+
+   The engine owns the probes: it registers readers against a [t] created by
+   the caller, feeds thread-state transitions as it classifies stalls, and
+   calls [maybe_sample] once per simulated step. Counters are sampled as
+   deltas since the previous sample, so the deltas over a run sum exactly to
+   the final aggregate; gauges are sampled as instantaneous values and also
+   recorded as Chrome counter tracks. *)
+
+(* Minimal JSON emitter (no external deps are available in this tree). *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+    | Str s -> escape buf s
+    | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        l;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          write buf x)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 4096 in
+    write buf j;
+    Buffer.contents buf
+
+  let to_file file j =
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (to_string j);
+        output_char oc '\n')
+end
+
+type kind = Counter | Gauge
+
+type probe = {
+  pr_name : string;
+  pr_kind : kind;
+  pr_read : unit -> int;
+  mutable pr_last : int; (* last sampled raw value, for counter deltas *)
+}
+
+type sample = {
+  s_cycle : int;
+  s_values : (string * int) array;
+      (* counter deltas since the previous sample / gauge values, in
+         registration order *)
+}
+
+type span = { sp_thread : int; sp_state : string; sp_start : int; sp_end : int }
+type point = { pt_track : string; pt_cycle : int; pt_value : int }
+type thread_meta = { tm_thread : int; tm_core : int; tm_name : string }
+
+type t = {
+  interval : int;
+  max_events : int;
+  mutable probes : probe list; (* reverse registration order *)
+  mutable samples : sample list; (* reverse chronological *)
+  mutable next_sample : int;
+  mutable spans : span list; (* reverse chronological *)
+  mutable points : point list; (* reverse chronological *)
+  mutable n_events : int;
+  mutable dropped : int;
+  open_state : (int, string * int) Hashtbl.t; (* thread -> (state, since) *)
+  mutable metas : thread_meta list;
+  mutable finished_at : int; (* -1 until [finish] *)
+}
+
+let create ?(interval = 1000) ?(max_events = 2_000_000) () =
+  if interval <= 0 then invalid_arg "Telemetry.create: interval must be > 0";
+  {
+    interval;
+    max_events;
+    probes = [];
+    samples = [];
+    next_sample = interval;
+    spans = [];
+    points = [];
+    n_events = 0;
+    dropped = 0;
+    open_state = Hashtbl.create 16;
+    metas = [];
+    finished_at = -1;
+  }
+
+let interval t = t.interval
+
+let register t ~kind ~name read =
+  t.probes <- { pr_name = name; pr_kind = kind; pr_read = read; pr_last = 0 } :: t.probes
+
+let register_counter t ~name read = register t ~kind:Counter ~name read
+let register_gauge t ~name read = register t ~kind:Gauge ~name read
+
+let set_thread_meta t ~thread ~core ~name =
+  t.metas <- { tm_thread = thread; tm_core = core; tm_name = name } :: t.metas
+
+let push_span t span =
+  if t.n_events < t.max_events then begin
+    t.spans <- span :: t.spans;
+    t.n_events <- t.n_events + 1
+  end
+  else t.dropped <- t.dropped + 1
+
+let push_point t point =
+  if t.n_events < t.max_events then begin
+    t.points <- point :: t.points;
+    t.n_events <- t.n_events + 1
+  end
+  else t.dropped <- t.dropped + 1
+
+(* Record that [thread] is in [state] as of [cycle]; closes the previous
+   state's span when the state changes. Zero-length spans are elided. *)
+let set_thread_state t ~thread ~cycle state =
+  match Hashtbl.find_opt t.open_state thread with
+  | Some (cur, _) when String.equal cur state -> ()
+  | prev ->
+    (match prev with
+    | Some (cur, since) when since < cycle ->
+      push_span t { sp_thread = thread; sp_state = cur; sp_start = since; sp_end = cycle }
+    | _ -> ());
+    Hashtbl.replace t.open_state thread (state, cycle)
+
+let end_thread_state t ~thread ~cycle =
+  (match Hashtbl.find_opt t.open_state thread with
+  | Some (cur, since) when since < cycle ->
+    push_span t { sp_thread = thread; sp_state = cur; sp_start = since; sp_end = cycle }
+  | _ -> ());
+  Hashtbl.remove t.open_state thread
+
+let take_sample t ~cycle =
+  let probes = List.rev t.probes in
+  let values =
+    List.map
+      (fun p ->
+        let v = p.pr_read () in
+        match p.pr_kind with
+        | Gauge ->
+          push_point t { pt_track = p.pr_name; pt_cycle = cycle; pt_value = v };
+          (p.pr_name, v)
+        | Counter ->
+          let d = v - p.pr_last in
+          p.pr_last <- v;
+          (p.pr_name, d))
+      probes
+  in
+  t.samples <- { s_cycle = cycle; s_values = Array.of_list values } :: t.samples
+
+(* Called once per engine step with the current cycle; samples at most once
+   per call, at the first crossed interval boundary (fast-forwarded regions
+   collapse into one sample so counter deltas still partition the run). *)
+let maybe_sample t ~cycle =
+  if cycle >= t.next_sample && t.finished_at < 0 then begin
+    take_sample t ~cycle;
+    t.next_sample <- cycle - (cycle mod t.interval) + t.interval
+  end
+
+(* Close all open spans and flush a final sample so that counter deltas over
+   [samples] sum exactly to the run's aggregate counters. Idempotent. *)
+let finish t ~cycle =
+  if t.finished_at < 0 then begin
+    let open_threads = Hashtbl.fold (fun th _ acc -> th :: acc) t.open_state [] in
+    List.iter (fun th -> end_thread_state t ~thread:th ~cycle) open_threads;
+    take_sample t ~cycle;
+    t.finished_at <- cycle
+  end
+
+let samples t = List.rev t.samples
+let spans t = List.rev t.spans
+let points t = List.rev t.points
+let dropped_events t = t.dropped
+
+(* Sum of a counter probe's deltas across all samples taken so far. *)
+let sum_counter t name =
+  List.fold_left
+    (fun acc s ->
+      Array.fold_left
+        (fun acc (n, v) -> if String.equal n name then acc + v else acc)
+        acc s.s_values)
+    0 t.samples
+
+let samples_json t : Json.t =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("cycle", Json.Int s.s_cycle);
+             ( "values",
+               Json.Obj
+                 (Array.to_list
+                    (Array.map (fun (n, v) -> (n, Json.Int v)) s.s_values)) );
+           ])
+       (samples t))
+
+let report_json t : Json.t =
+  Json.Obj
+    [
+      ("sample_interval", Json.Int t.interval);
+      ("dropped_events", Json.Int t.dropped);
+      ("samples", samples_json t);
+    ]
+
+(* Chrome trace-event export: one timeline track per thread (issue/stall
+   state spans as complete "X" events, grouped by core as the process), plus
+   one counter ("C") track per registered gauge. Timestamps are in simulated
+   cycles, reported through the trace format's microsecond field. *)
+let trace_json t : Json.t =
+  let core_of = Hashtbl.create 16 in
+  List.iter (fun m -> Hashtbl.replace core_of m.tm_thread m.tm_core) t.metas;
+  let pid thread = try Hashtbl.find core_of thread with Not_found -> 0 in
+  let metas =
+    List.concat_map
+      (fun m ->
+        [
+          Json.Obj
+            [
+              ("ph", Json.Str "M");
+              ("name", Json.Str "process_name");
+              ("pid", Json.Int m.tm_core);
+              ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "core%d" m.tm_core)) ]);
+            ];
+          Json.Obj
+            [
+              ("ph", Json.Str "M");
+              ("name", Json.Str "thread_name");
+              ("pid", Json.Int m.tm_core);
+              ("tid", Json.Int m.tm_thread);
+              ("args", Json.Obj [ ("name", Json.Str m.tm_name) ]);
+            ];
+        ])
+      (List.rev t.metas)
+  in
+  let span_events =
+    List.rev_map
+      (fun sp ->
+        Json.Obj
+          [
+            ("ph", Json.Str "X");
+            ("name", Json.Str sp.sp_state);
+            ("cat", Json.Str "thread");
+            ("pid", Json.Int (pid sp.sp_thread));
+            ("tid", Json.Int sp.sp_thread);
+            ("ts", Json.Int sp.sp_start);
+            ("dur", Json.Int (sp.sp_end - sp.sp_start));
+          ])
+      t.spans
+  in
+  let counter_events =
+    List.rev_map
+      (fun pt ->
+        Json.Obj
+          [
+            ("ph", Json.Str "C");
+            ("name", Json.Str pt.pt_track);
+            ("pid", Json.Int 0);
+            ("ts", Json.Int pt.pt_cycle);
+            ("args", Json.Obj [ ("value", Json.Int pt.pt_value) ]);
+          ])
+      t.points
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metas @ span_events @ counter_events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_trace_file t file = Json.to_file file (trace_json t)

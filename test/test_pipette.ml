@@ -60,6 +60,83 @@ let test_prefetch_partial_overlap () =
     (r.Cache.latency < Config.default.Config.dram_latency);
   Alcotest.(check bool) "residual latency > L1 hit" true (r.Cache.latency > 4)
 
+let test_prefetch_not_counted_as_demand () =
+  (* Prefetches must not move the demand hit/miss or DRAM counters. *)
+  let caches = Cache.create Config.default in
+  for i = 0 to 31 do
+    ignore (Cache.access caches ~core:0 ~addr:(0x10000 + (i * 64)) ~now:(i * 10))
+  done;
+  let before = Cache.counters caches in
+  for i = 0 to 63 do
+    Cache.prefetch caches ~core:0 ~addr:(0x80000 + (i * 64)) ~now:(1000 + i)
+  done;
+  (* re-prefetch some resident lines too *)
+  for i = 0 to 7 do
+    Cache.prefetch caches ~core:0 ~addr:(0x80000 + (i * 64)) ~now:(30000 + i)
+  done;
+  let after = Cache.counters caches in
+  Alcotest.(check int) "demand L1 hits unchanged" before.Cache.c_l1_hits after.Cache.c_l1_hits;
+  Alcotest.(check int) "demand L1 misses unchanged" before.Cache.c_l1_misses after.Cache.c_l1_misses;
+  Alcotest.(check int) "demand L2 hits unchanged" before.Cache.c_l2_hits after.Cache.c_l2_hits;
+  Alcotest.(check int) "demand L2 misses unchanged" before.Cache.c_l2_misses after.Cache.c_l2_misses;
+  Alcotest.(check int) "demand L3 hits unchanged" before.Cache.c_l3_hits after.Cache.c_l3_hits;
+  Alcotest.(check int) "demand L3 misses unchanged" before.Cache.c_l3_misses after.Cache.c_l3_misses;
+  Alcotest.(check int) "demand DRAM accesses unchanged" before.Cache.c_dram after.Cache.c_dram;
+  Alcotest.(check int) "prefetches counted" 72 after.Cache.c_prefetches;
+  Alcotest.(check int) "prefetch cache hits counted" 8 after.Cache.c_prefetch_hits;
+  Alcotest.(check int) "prefetch DRAM fills counted" 64 after.Cache.c_prefetch_dram
+
+let test_prefetch_equals_silent_fill () =
+  (* Demand counters with prefetching must equal the same run with each
+     prefetch replaced by a no-op that still fills (Cache.fill). *)
+  let rng = Phloem_util.Prng.create 5 in
+  let ops =
+    List.init 4000 (fun i ->
+        let addr = Phloem_util.Prng.int rng 4096 * 64 in
+        (i land 3 = 0, addr, i * 7))
+  in
+  let run use_prefetch =
+    let caches = Cache.create Config.default in
+    List.iter
+      (fun (is_pf, addr, now) ->
+        if is_pf then
+          if use_prefetch then Cache.prefetch caches ~core:0 ~addr ~now
+          else ignore (Cache.fill caches ~core:0 ~addr ~now)
+        else ignore (Cache.access caches ~core:0 ~addr ~now))
+      ops;
+    Cache.counters caches
+  in
+  let a = run true and b = run false in
+  Alcotest.(check int) "L1 hits equal" b.Cache.c_l1_hits a.Cache.c_l1_hits;
+  Alcotest.(check int) "L1 misses equal" b.Cache.c_l1_misses a.Cache.c_l1_misses;
+  Alcotest.(check int) "L2 hits equal" b.Cache.c_l2_hits a.Cache.c_l2_hits;
+  Alcotest.(check int) "L2 misses equal" b.Cache.c_l2_misses a.Cache.c_l2_misses;
+  Alcotest.(check int) "L3 hits equal" b.Cache.c_l3_hits a.Cache.c_l3_hits;
+  Alcotest.(check int) "L3 misses equal" b.Cache.c_l3_misses a.Cache.c_l3_misses;
+  Alcotest.(check int) "DRAM accesses equal" b.Cache.c_dram a.Cache.c_dram;
+  Alcotest.(check bool) "prefetch counters moved only with prefetch" true
+    (a.Cache.c_prefetches > 0 && b.Cache.c_prefetches = 0)
+
+let test_demand_during_inflight_prefetch () =
+  (* A demand access while the prefetched line is still in flight pays only
+     the residue, and is still accounted as a normal demand access. *)
+  let caches = Cache.create Config.default in
+  Cache.prefetch caches ~core:0 ~addr:0x60000 ~now:0;
+  let before = Cache.counters caches in
+  let r = Cache.access caches ~core:0 ~addr:0x60000 ~now:10 in
+  let after = Cache.counters caches in
+  Alcotest.(check int) "line is resident (L1 hit)" 1 r.Cache.level_hit;
+  Alcotest.(check bool) "pays residue, not the full miss" true
+    (r.Cache.latency < Config.default.Config.dram_latency
+    && r.Cache.latency > Config.default.Config.l1.Config.latency);
+  Alcotest.(check int) "demand access counted once in L1"
+    (before.Cache.c_l1_hits + 1) after.Cache.c_l1_hits;
+  Alcotest.(check int) "no extra DRAM demand access" before.Cache.c_dram after.Cache.c_dram;
+  (* After the in-flight window, the same line is a plain L1 hit. *)
+  let r2 = Cache.access caches ~core:0 ~addr:0x60000 ~now:10_000 in
+  Alcotest.(check int) "full L1 latency once arrived"
+    Config.default.Config.l1.Config.latency r2.Cache.latency
+
 let test_dram_bandwidth_queueing () =
   let cfg = { Config.default with Config.dram_controllers = 1 } in
   let caches = Cache.create cfg in
@@ -283,6 +360,9 @@ let suite_cache =
     Alcotest.test_case "private L1 per core" `Quick test_cache_private_l1;
     Alcotest.test_case "prefetch hides latency" `Quick test_prefetch_hides_latency;
     Alcotest.test_case "prefetch partial overlap" `Quick test_prefetch_partial_overlap;
+    Alcotest.test_case "prefetch not counted as demand" `Quick test_prefetch_not_counted_as_demand;
+    Alcotest.test_case "prefetch equals silent fill" `Quick test_prefetch_equals_silent_fill;
+    Alcotest.test_case "demand during in-flight prefetch" `Quick test_demand_during_inflight_prefetch;
     Alcotest.test_case "dram bandwidth queueing" `Quick test_dram_bandwidth_queueing;
   ]
 
