@@ -8,7 +8,10 @@
      dune exec bench/main.exe table3 fig6 ...
      PHLOEM_SCALE=0.5 dune exec bench/main.exe  # smaller inputs
      dune exec bench/main.exe micro           # Bechamel microbenches only
-     dune exec bench/main.exe --json out.json # fig9-11 data as JSON *)
+     dune exec bench/main.exe --json out.json # fig9-11 data as JSON
+     dune exec bench/main.exe -- --jobs 4     # parallel sweep on 4 domains
+     dune exec bench/main.exe -- --wall --jobs 4   # wall-clock speedup
+                                              # report -> BENCH_parallel.json *)
 
 let micro () =
   print_endline "\n==== Bechamel micro-benchmarks (simulator primitives) ====";
@@ -81,44 +84,144 @@ let micro () =
     (fun t -> benchmark (Bechamel.Test.make_grouped ~name:"pipette" [ t ]))
     [ test_prng; test_cache; test_predictor; test_interp; test_compile ]
 
-(* Extract "--json FILE" / "--json=FILE" from the argument list. *)
-let rec extract_json = function
-  | [] -> (None, [])
-  | "--json" :: file :: rest ->
-    let _, others = extract_json rest in
-    (Some file, others)
-  | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--json=" ->
-    let _, others = extract_json rest in
-    (Some (String.sub arg 7 (String.length arg - 7)), others)
-  | arg :: rest ->
-    let file, others = extract_json rest in
-    (file, arg :: others)
+(* --- flag parsing (no cmdliner dep here: keep bechamel the only extra) --- *)
+
+type opts = {
+  o_json : string option; (* --json FILE: fig9-11 data as JSON *)
+  o_jobs : int; (* --jobs N: domains for the parallel sweep *)
+  o_wall : string option; (* --wall[=FILE]: wall-clock speedup report *)
+  o_pgo : bool; (* --no-pgo: skip profile-guided search *)
+  o_only : string list option; (* --only A,B: restrict sweep inputs *)
+  o_args : string list; (* positional experiment names *)
+}
+
+let parse_args args =
+  let prefixed p a =
+    let n = String.length p in
+    if String.length a > n && String.sub a 0 n = p then
+      Some (String.sub a n (String.length a - n))
+    else None
+  in
+  let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "") in
+  let rec go o = function
+    | [] -> { o with o_args = List.rev o.o_args }
+    | "--json" :: file :: rest -> go { o with o_json = Some file } rest
+    | "--jobs" :: n :: rest -> go { o with o_jobs = int_of_string n } rest
+    | "--wall" :: rest -> go { o with o_wall = Some "BENCH_parallel.json" } rest
+    | "--no-pgo" :: rest -> go { o with o_pgo = false } rest
+    | "--only" :: names :: rest ->
+      go { o with o_only = Some (split_commas names) } rest
+    | a :: rest -> (
+      match
+        ( prefixed "--json=" a,
+          prefixed "--jobs=" a,
+          prefixed "--wall=" a,
+          prefixed "--only=" a )
+      with
+      | Some f, _, _, _ -> go { o with o_json = Some f } rest
+      | _, Some n, _, _ -> go { o with o_jobs = int_of_string n } rest
+      | _, _, Some f, _ -> go { o with o_wall = Some f } rest
+      | _, _, _, Some s -> go { o with o_only = Some (split_commas s) } rest
+      | None, None, None, None -> go { o with o_args = a :: o.o_args } rest)
+  in
+  go
+    {
+      o_json = None;
+      o_jobs = Phloem_util.Pool.default_jobs ();
+      o_wall = None;
+      o_pgo = true;
+      o_only = None;
+      o_args = [];
+    }
+    args
+
+(* --- --wall: wall-clock seconds of the standard sweep, serial vs pooled,
+   with a byte-equality check of the two JSON reports. --- *)
+
+let wall_benchmark ~pool ~scale ?only_inputs ~pgo ~file ~json_file () =
+  let module E = Phloem_harness.Experiments in
+  let module Json = Pipette.Telemetry.Json in
+  let jobs = Phloem_util.Pool.jobs pool in
+  Printf.printf "==== Wall-clock benchmark: standard sweep, --jobs 1 vs --jobs %d ====\n%!"
+    jobs;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let serial_all, serial_s =
+    time (fun () -> E.collect ?only_inputs ~pgo ~scale ())
+  in
+  Printf.printf "  --jobs 1 : %8.2f s\n%!" serial_s;
+  let par_all, par_s =
+    time (fun () -> E.collect ~pool ?only_inputs ~pgo ~scale ())
+  in
+  Printf.printf "  --jobs %-2d: %8.2f s\n%!" jobs par_s;
+  let serial_json = Json.to_string (E.json_of_collection serial_all) in
+  let par_json = Json.to_string (E.json_of_collection par_all) in
+  let deterministic = String.equal serial_json par_json in
+  let speedup = if par_s > 0.0 then serial_s /. par_s else 0.0 in
+  Printf.printf "  speedup  : %8.2fx   (deterministic: %b)\n%!" speedup deterministic;
+  let n_runs =
+    List.fold_left (fun acc (_, rs) -> acc + List.length rs) 0 serial_all
+  in
+  Json.to_file file
+    (Json.Obj
+       [
+         ("jobs", Json.Int jobs);
+         ("recommended_domains", Json.Int (Phloem_util.Pool.default_jobs ()));
+         ("scale", Json.Float scale);
+         ("pgo", Json.Bool pgo);
+         ("benchmarks", Json.Int (List.length serial_all));
+         ("sweep_jobs", Json.Int n_runs);
+         ("serial_wall_s", Json.Float serial_s);
+         ("parallel_wall_s", Json.Float par_s);
+         ("speedup", Json.Float speedup);
+         ("deterministic", Json.Bool deterministic);
+       ]);
+  Printf.printf "  report written to %s\n%!" file;
+  (match json_file with
+  | Some f ->
+    Json.to_file f (E.json_of_collection par_all);
+    Printf.printf "  evaluation JSON written to %s\n%!" f
+  | None -> ());
+  if not deterministic then exit 3
 
 let () =
   let module E = Phloem_harness.Experiments in
   let scale = E.default_scale () in
-  let args = Array.to_list Sys.argv |> List.tl in
-  let json_file, args = extract_json args in
+  let o = parse_args (Array.to_list Sys.argv |> List.tl) in
+  Phloem_util.Pool.with_pool ~jobs:o.o_jobs @@ fun pool ->
   let dispatch = function
     | "table3" -> E.table3 ()
     | "table4" -> E.table4 ~scale ()
     | "table5" -> E.table5 ~scale ()
     | "fig6" -> E.fig6 ~scale ()
-    | "fig9" -> E.fig9 ~scale ()
-    | "fig10" -> E.fig10 ~scale ()
-    | "fig11" -> E.fig11 ~scale ()
-    | "fig12" -> E.fig12 ~scale ()
-    | "fig13" -> E.fig13 ~scale ()
+    | "fig9" -> E.fig9 ~pool ~scale ()
+    | "fig10" -> E.fig10 ~pool ~scale ()
+    | "fig11" -> E.fig11 ~pool ~scale ()
+    | "fig12" -> E.fig12 ~pool ~scale ()
+    | "fig13" -> E.fig13 ~pool ~scale ()
     | "fig14" -> E.fig14 ~scale ()
     | "micro" -> micro ()
     | other -> Printf.eprintf "unknown experiment %s\n" other
   in
-  match (json_file, args) with
-  | Some file, [] -> ignore (E.write_json_report ~scale ~file ())
-  | Some file, args ->
-    ignore (E.write_json_report ~scale ~file ());
-    List.iter dispatch args
-  | None, [] ->
-    E.run_all_experiments ~scale ();
-    micro ()
-  | None, args -> List.iter dispatch args
+  match o.o_wall with
+  | Some file ->
+    wall_benchmark ~pool ~scale ?only_inputs:o.o_only ~pgo:o.o_pgo ~file
+      ~json_file:o.o_json ()
+  | None -> (
+    match (o.o_json, o.o_args) with
+    | Some file, [] ->
+      ignore
+        (E.write_json_report ~pool ?only_inputs:o.o_only ~pgo:o.o_pgo ~scale
+           ~file ())
+    | Some file, args ->
+      ignore
+        (E.write_json_report ~pool ?only_inputs:o.o_only ~pgo:o.o_pgo ~scale
+           ~file ());
+      List.iter dispatch args
+    | None, [] ->
+      E.run_all_experiments ~pool ~scale ();
+      micro ()
+    | None, args -> List.iter dispatch args)

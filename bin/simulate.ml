@@ -47,11 +47,9 @@ let bind_bench bench input scale =
 (* Empty traces report 0 cycles; keep the derived ratios finite. *)
 let fdiv a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
 
-let simulate bench variant input scale json_out trace_out sample_interval =
+let simulate bench variant input scale json_out trace_out sample_interval jobs =
   let b = bind_bench bench input scale in
   let serial_p, serial_in = b.Workload.b_serial in
-  let sr = Pipette.Sim.run ~inputs:serial_in serial_p in
-  let serial_cycles = Pipette.Sim.cycles sr in
   let p, inputs =
     match variant with
     | "serial" -> (serial_p, serial_in)
@@ -68,7 +66,22 @@ let simulate bench variant input scale json_out trace_out sample_interval =
       Some (Pipette.Telemetry.create ~interval:sample_interval ())
     else None
   in
-  let r = Pipette.Sim.run ~inputs ?telemetry p in
+  (* The serial baseline and the variant run are independent simulations:
+     with --jobs > 1 they execute on separate domains; --jobs 1 runs them
+     in order on this one, exactly the previous path. *)
+  let sr, r =
+    match
+      Phloem_util.Pool.with_pool ~jobs (fun pool ->
+          Phloem_util.Pool.run pool
+            [
+              (fun () -> Pipette.Sim.run ~inputs:serial_in serial_p);
+              (fun () -> Pipette.Sim.run ~inputs ?telemetry p);
+            ])
+    with
+    | [ sr; r ] -> (sr, r)
+    | _ -> assert false
+  in
+  let serial_cycles = Pipette.Sim.cycles sr in
   let t = r.Pipette.Sim.sr_timing in
   let ok = Workload.check b r.Pipette.Sim.sr_functional in
   Printf.printf "%s / %s on %s\n" b.Workload.b_name variant input;
@@ -164,11 +177,20 @@ let interval_arg =
     & info [ "sample-interval" ] ~docv:"N"
         ~doc:"telemetry sampling interval in cycles (with --json / --trace-out)")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Phloem_util.Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "domains used to run the independent simulations (default: the \
+           recommended domain count; 1 = fully serial)")
+
 let cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"run one benchmark variant on the Pipette simulator")
     Term.(
       const simulate $ bench_arg $ variant_arg $ input_arg $ scale_arg $ json_arg
-      $ trace_arg $ interval_arg)
+      $ trace_arg $ interval_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

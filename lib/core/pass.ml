@@ -183,7 +183,11 @@ module Manager = struct
       incr idx;
       let ops_before = count_ops p in
       let t0 = Unix.gettimeofday () in
-      let p' = P.run ctx p in
+      (* Re-canonicalize site ids after every pass: transforms mint fresh
+         sites from a global counter, and site ids feed the branch
+         predictor, so leaving them raw would make timing depend on global
+         build history (and race across domains). *)
+      let p' = Phloem_ir.Types.renumber_sites (P.run ctx p) in
       let wall = Unix.gettimeofday () -. t0 in
       if t.options.verify_each then verify_after ctx pass p';
       Option.iter (fun dir -> dump_snapshot dir !idx P.name p') t.options.dump_ir;

@@ -44,14 +44,14 @@ let enumerate_cut_sets ?(top_k = 6) ?(max_cuts = 3) (serial : pipeline) :
    inconsistent control-value protocol that spins forever) are killed by a
    budget derived from the serial instruction count. *)
 let profile_one ~cfg ~check_arrays ~budget pipeline ~inputs ~serial_result =
-  let saved = !Phloem_ir.Interp.max_ops in
-  Phloem_ir.Interp.max_ops := budget;
+  (* the budget is domain-local, so concurrent candidates profiled by the
+     pool each get their own *)
   let result =
-    match Pipette.Sim.run ~cfg ~inputs pipeline with
-    | exception _ -> None
-    | r -> Some r
+    Phloem_ir.Interp.with_max_ops budget (fun () ->
+        match Pipette.Sim.run ~cfg ~inputs pipeline with
+        | exception _ -> None
+        | r -> Some r)
   in
-  Phloem_ir.Interp.max_ops := saved;
   match result with
   | None -> None
   | Some r ->
@@ -68,8 +68,15 @@ let profile_one ~cfg ~check_arrays ~budget pipeline ~inputs ~serial_result =
    [training] supplies, per training input, the serial pipeline and its
    array contents. [check_arrays] names the output arrays that must match. *)
 let pgo ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default) ?(top_k = 6)
-    ?(max_cuts = 3) ~check_arrays
+    ?(max_cuts = 3) ?pool ~check_arrays
     ~(training : (pipeline * (string * value array) list) list) () : outcome =
+  (* [pmap] fans independent jobs over the pool while keeping list order,
+     so the outcome is identical to the serial evaluation. *)
+  let pmap f l =
+    match pool with
+    | Some p -> Phloem_util.Pool.map_list p f l
+    | None -> List.map f l
+  in
   match training with
   | [] -> invalid_arg "Search.pgo: no training inputs"
   | (serial0, _) :: _ ->
@@ -77,7 +84,7 @@ let pgo ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default) ?(top_k =
     Log.info ~component:"search" "pgo: profiling %d candidate cut sets on %d inputs"
       (List.length cut_sets) (List.length training);
     let serial_runs =
-      List.map
+      pmap
         (fun (serial, inputs) ->
           let r = Pipette.Sim.run ~cfg ~inputs serial in
           (serial, inputs, r))
@@ -87,7 +94,7 @@ let pgo ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default) ?(top_k =
       List.map (fun (_, _, r) -> Pipette.Sim.cycles r) serial_runs
     in
     let candidates =
-      List.filter_map
+      pmap
         (fun cuts ->
           let runs =
             List.map
@@ -134,6 +141,7 @@ let pgo ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default) ?(top_k =
                 ca_gmean = gmean;
               })
         cut_sets
+      |> List.filter_map Fun.id
     in
     (match candidates with
     | [] -> invalid_arg "Search.pgo: no legal candidate pipelines"

@@ -31,6 +31,7 @@ val pgo :
   ?cfg:Pipette.Config.t ->
   ?top_k:int ->
   ?max_cuts:int ->
+  ?pool:Phloem_util.Pool.t ->
   check_arrays:string list ->
   training:
     (Phloem_ir.Types.pipeline * (string * Phloem_ir.Types.value array) list) list ->

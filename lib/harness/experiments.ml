@@ -136,46 +136,76 @@ let graph_bound name g =
   | "Radii" -> Radii.bind g
   | _ -> invalid_arg name
 
-let pgo_recipe ~scale bench =
+let pgo_recipe ?pool ~scale bench =
   let training = training_graphs ~scale in
   match bench with
   | "SpMM" ->
     let bounds =
       List.map (fun (_, a, bt) -> Spmm.bind a bt) (spmm_pairs ~scale `Training)
     in
-    (try Some (Runner.pgo_cuts bounds).Phloem.Search.best with _ -> None)
+    (try Some (Runner.pgo_cuts ?pool bounds).Phloem.Search.best with _ -> None)
   | _ ->
     let bounds = List.map (fun (_, g) -> graph_bound bench g) training in
-    (try Some (Runner.pgo_cuts bounds).Phloem.Search.best with _ -> None)
+    (try Some (Runner.pgo_cuts ?pool bounds).Phloem.Search.best with _ -> None)
 
 (* Progress lines route through the structured diagnostics sink at Info so a
    caller can silence or capture them; [run_all_experiments] raises the
    threshold so interactive runs still show them. *)
 let progress fmt = Phloem_util.Log.info ~component:"harness" fmt
 
-let run_benchmark ~scale bench : bench_runs list =
-  progress "[fig9-11] %s: profile-guided search..." bench;
-  let pgo = pgo_recipe ~scale bench in
-  match bench with
-  | "SpMM" ->
-    List.map
-      (fun (name, a, bt) ->
-        progress "[fig9-11] %s on %s" bench name;
-        let b = Spmm.bind a bt in
-        { br_bench = bench; br_input = name; br_runs = Runner.run_all ?pgo_cuts:pgo b })
-      (spmm_pairs ~scale `Test)
-  | _ ->
-    List.map
-      (fun (name, g) ->
-        progress "[fig9-11] %s on %s" bench name;
-        let b = graph_bound bench g in
-        { br_bench = bench; br_input = name; br_runs = Runner.run_all ?pgo_cuts:pgo b })
-      (test_graphs ~scale)
+(* The per-input jobs of one benchmark are independent: fan them out over
+   the pool. Inputs are forced in the submitting domain (Lazy is not
+   domain-safe), [Pool.map_list] preserves submission order, and every job
+   is a deterministic function of its bound — so the pooled collection is
+   byte-identical to the serial one. [only_inputs] restricts the sweep to
+   the named inputs (smoke tests, CI); [pgo] can be disabled to skip the
+   profile-guided search. *)
+let run_benchmark ?pool ?only_inputs ?(pgo = true) ~scale bench : bench_runs list
+    =
+  let keep name =
+    match only_inputs with None -> true | Some names -> List.mem name names
+  in
+  let pgo =
+    if pgo then begin
+      progress "[fig9-11] %s: profile-guided search..." bench;
+      pgo_recipe ?pool ~scale bench
+    end
+    else None
+  in
+  let inputs : (string * (unit -> Workload.bound)) list =
+    match bench with
+    | "SpMM" ->
+      List.filter_map
+        (fun (name, a, bt) ->
+          if keep name then Some (name, fun () -> Spmm.bind a bt) else None)
+        (spmm_pairs ~scale `Test)
+    | _ ->
+      List.filter_map
+        (fun (name, g) ->
+          if keep name then Some (name, fun () -> graph_bound bench g) else None)
+        (test_graphs ~scale)
+  in
+  let pmap f l =
+    match pool with
+    | Some p -> Phloem_util.Pool.map_list p f l
+    | None -> List.map f l
+  in
+  pmap
+    (fun (name, bind) ->
+      progress "[fig9-11] %s on %s" bench name;
+      let b = bind () in
+      {
+        br_bench = bench;
+        br_input = name;
+        br_runs = Runner.run_all ?pgo_cuts:pgo ?pool b;
+      })
+    inputs
 
 let benches = [ "BFS"; "CC"; "PRD"; "Radii"; "SpMM" ]
 
-let collect ?(scale = default_scale ()) () =
-  List.map (fun b -> (b, run_benchmark ~scale b)) benches
+let collect ?pool ?(benches = benches) ?only_inputs ?pgo
+    ?(scale = default_scale ()) () =
+  List.map (fun b -> (b, run_benchmark ?pool ?only_inputs ?pgo ~scale b)) benches
 
 let gmean_of sel (runs : bench_runs list) =
   Stats.gmean (List.map (fun r -> sel r.br_runs) runs)
@@ -210,15 +240,16 @@ let json_of_collection (all : (string * bench_runs list) list) :
 
 (* Run the full fig9-11 collection and write it as JSON; the substrate for
    scripted/CI consumption of the evaluation. *)
-let write_json_report ?(scale = default_scale ()) ~file () =
-  let all = collect ~scale () in
+let write_json_report ?pool ?benches ?only_inputs ?pgo
+    ?(scale = default_scale ()) ~file () =
+  let all = collect ?pool ?benches ?only_inputs ?pgo ~scale () in
   Pipette.Telemetry.Json.to_file file (json_of_collection all);
   progress "[json] evaluation report written to %s" file;
   all
 
-let fig9 ?(all = None) ?(scale = default_scale ()) () =
+let fig9 ?pool ?(all = None) ?(scale = default_scale ()) () =
   section "Fig. 9: per-benchmark speedup over serial (gmean across inputs)";
-  let all = match all with Some a -> a | None -> collect ~scale () in
+  let all = match all with Some a -> a | None -> collect ?pool ~scale () in
   let t =
     Table.create
       [ "Benchmark"; "Data-parallel"; "Phloem (PGO)"; "Phloem static (x)"; "Manual" ]
@@ -270,11 +301,11 @@ let breakdown_row label (m : Runner.measurement) =
     fmt (m.Runner.m_issue +. m.Runner.m_backend +. m.Runner.m_queue +. m.Runner.m_other);
   ]
 
-let fig10 ?(all = None) ?(scale = default_scale ()) () =
+let fig10 ?pool ?(all = None) ?(scale = default_scale ()) () =
   section
     "Fig. 10: cycle breakdown, thread-cycles normalized to the serial run\n\
      (S serial, D data-parallel, P Phloem, M manual)";
-  let all = match all with Some a -> a | None -> collect ~scale () in
+  let all = match all with Some a -> a | None -> collect ?pool ~scale () in
   let t = Table.create [ "Bench/variant"; "Issue"; "Backend"; "Queue"; "Other"; "Total" ] in
   List.iter
     (fun (bench, runs) ->
@@ -309,9 +340,9 @@ let fig10 ?(all = None) ?(scale = default_scale ()) () =
     all;
   print_string (Table.render t)
 
-let fig11 ?(all = None) ?(scale = default_scale ()) () =
+let fig11 ?pool ?(all = None) ?(scale = default_scale ()) () =
   section "Fig. 11: energy breakdown normalized to serial (core/memory/queues+RA/static)";
-  let all = match all with Some a -> a | None -> collect ~scale () in
+  let all = match all with Some a -> a | None -> collect ?pool ~scale () in
   let t =
     Table.create [ "Bench/variant"; "Core dyn"; "Memory"; "Queues+RA"; "Static"; "Total" ]
   in
@@ -350,16 +381,21 @@ let fig11 ?(all = None) ?(scale = default_scale ()) () =
 
 (* --- Fig. 12: Taco benchmarks --- *)
 
-let fig12 ?(scale = default_scale ()) () =
+let fig12 ?pool ?(scale = default_scale ()) () =
   section "Fig. 12: Taco benchmarks, speedup over Taco serial (static Phloem flow)";
   let t = Table.create [ "Benchmark"; "Data-parallel"; "Phloem (static)" ] in
+  let pmap f l =
+    match pool with
+    | Some p -> Phloem_util.Pool.map_list p f l
+    | None -> List.map f l
+  in
   List.iter
     (fun kind ->
       let runs =
-        List.map
+        pmap
           (fun (_, m) ->
             let b = Taco_kernels.bind kind m in
-            Runner.run_all b)
+            Runner.run_all ?pool b)
           (taco_matrices ~scale)
       in
       let dp = Stats.gmean (List.map (fun r -> r.Runner.data_parallel.Runner.m_speedup) runs) in
@@ -370,14 +406,14 @@ let fig12 ?(scale = default_scale ()) () =
 
 (* --- Fig. 13: speedup distribution vs pipeline length --- *)
 
-let fig13 ?(scale = default_scale ()) () =
+let fig13 ?pool ?(scale = default_scale ()) () =
   section
     "Fig. 13: gmean speedup on training inputs of profiled pipelines by stage\n\
      count (threads + RAs); min / best per length";
   let t = Table.create [ "Benchmark"; "Stages"; "Min"; "Best"; "Candidates" ] in
   let explore name (bounds : Workload.bound list) =
     match
-      Runner.pgo_cuts ~top_k:6 ~max_cuts:3 bounds
+      Runner.pgo_cuts ~top_k:6 ~max_cuts:3 ?pool bounds
     with
     | outcome ->
       let by_len = Hashtbl.create 8 in
@@ -482,17 +518,17 @@ let fig14 ?(scale = default_scale ()) () =
     ~man_of:(man_cycles Radii.bind);
   print_string (Table.render t)
 
-let run_all_experiments ?(scale = default_scale ()) () =
+let run_all_experiments ?pool ?(scale = default_scale ()) () =
   if Phloem_util.Log.severity (Phloem_util.Log.level ()) > Phloem_util.Log.severity Phloem_util.Log.Info
   then Phloem_util.Log.set_level Phloem_util.Log.Info;
   table3 ();
   table4 ~scale ();
   table5 ~scale ();
   fig6 ~scale ();
-  let all = collect ~scale () in
+  let all = collect ?pool ~scale () in
   fig9 ~all:(Some all) ~scale ();
   fig10 ~all:(Some all) ~scale ();
   fig11 ~all:(Some all) ~scale ();
-  fig12 ~scale ();
-  fig13 ~scale ();
+  fig12 ?pool ~scale ();
+  fig13 ?pool ~scale ();
   fig14 ~scale ()

@@ -114,7 +114,7 @@ let json_of_all_runs (a : all_runs) : Pipette.Telemetry.Json.t =
       ("manual", opt a.manual);
     ]
 
-let run_all ?(cfg = Pipette.Config.default) ?(threads = 4) ?pgo_cuts
+let run_all ?(cfg = Pipette.Config.default) ?(threads = 4) ?pgo_cuts ?pool
     (b : Workload.bound) : all_runs =
   let serial_p, serial_in = b.Workload.b_serial in
   let sr =
@@ -128,43 +128,58 @@ let run_all ?(cfg = Pipette.Config.default) ?(threads = 4) ?pgo_cuts
       ~ok:(Workload.check b sr.Pipette.Sim.sr_functional)
       sr
   in
-  let dp =
-    run_one ~cfg b ~variant:"data-parallel"
-      (b.Workload.b_data_parallel ~threads)
-      ~serial_cycles
+  (* Given the serial baseline, the remaining variants (including their
+     compilation) are independent jobs: fan them out over the pool. The
+     thunk order fixes the result order, so pooled and serial runs build
+     the same record. *)
+  let variant_thunks : (unit -> measurement option) list =
+    [
+      (fun () ->
+        Some
+          (run_one ~cfg b ~variant:"data-parallel"
+             (b.Workload.b_data_parallel ~threads)
+             ~serial_cycles));
+      (fun () ->
+        Some
+          (run_one ~cfg b ~variant:"phloem-static"
+             (phloem_pipeline b, serial_in)
+             ~serial_cycles));
+      (fun () ->
+        Option.map
+          (fun cuts ->
+            run_one ~cfg b ~variant:"phloem-pgo"
+              (phloem_pipeline ~cuts b, serial_in)
+              ~serial_cycles)
+          pgo_cuts);
+      (fun () ->
+        Option.map
+          (fun mp -> run_one ~cfg b ~variant:"manual" mp ~serial_cycles)
+          b.Workload.b_manual);
+    ]
   in
-  let ps =
-    run_one ~cfg b ~variant:"phloem-static"
-      (phloem_pipeline b, serial_in)
-      ~serial_cycles
+  let results =
+    match pool with
+    | Some p -> Phloem_util.Pool.run p variant_thunks
+    | None -> List.map (fun f -> f ()) variant_thunks
   in
-  let pp =
-    Option.map
-      (fun cuts ->
-        run_one ~cfg b ~variant:"phloem-pgo"
-          (phloem_pipeline ~cuts b, serial_in)
-          ~serial_cycles)
-      pgo_cuts
-  in
-  let man =
-    Option.map
-      (fun mp -> run_one ~cfg b ~variant:"manual" mp ~serial_cycles)
-      b.Workload.b_manual
-  in
-  {
-    serial = serial_m;
-    data_parallel = dp;
-    phloem_static = ps;
-    phloem_pgo = pp;
-    manual = man;
-  }
+  match results with
+  | [ Some dp; Some ps; pp; man ] ->
+    {
+      serial = serial_m;
+      data_parallel = dp;
+      phloem_static = ps;
+      phloem_pgo = pp;
+      manual = man;
+    }
+  | _ -> assert false
 
 (* PGO across a benchmark's training bindings; returns the best cut recipe. *)
-let pgo_cuts ?(cfg = Pipette.Config.default) ?(top_k = 6) ?(max_cuts = 3)
+let pgo_cuts ?(cfg = Pipette.Config.default) ?(top_k = 6) ?(max_cuts = 3) ?pool
     (training : Workload.bound list) : Phloem.Search.outcome =
   match training with
   | [] -> invalid_arg "pgo_cuts: no training bounds"
   | b0 :: _ ->
-    Phloem.Search.pgo ~cfg ~top_k ~max_cuts ~check_arrays:b0.Workload.b_check_arrays
+    Phloem.Search.pgo ~cfg ~top_k ~max_cuts ?pool
+      ~check_arrays:b0.Workload.b_check_arrays
       ~training:(List.map (fun b -> b.Workload.b_serial) training)
       ()

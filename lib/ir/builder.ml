@@ -71,17 +71,21 @@ let ra ~id ~in_q ~out_q ~array ~mode =
 let int_array name len = { a_name = name; a_ty = Ety_int; a_len = len }
 let float_array name len = { a_name = name; a_ty = Ety_float; a_len = len }
 
+(* Canonicalize site ids at construction: identical DSL programs get
+   identical branch PCs regardless of what was built before (see
+   [Types.renumber_sites]). *)
 let pipeline ?(queues = []) ?(ras = []) ?(arrays = []) ?(params = [])
     ?(call_costs = []) name stages =
-  {
-    p_name = name;
-    p_stages = stages;
-    p_queues = queues;
-    p_ras = ras;
-    p_arrays = arrays;
-    p_params = params;
-    p_call_costs = call_costs;
-  }
+  renumber_sites
+    {
+      p_name = name;
+      p_stages = stages;
+      p_queues = queues;
+      p_ras = ras;
+      p_arrays = arrays;
+      p_params = params;
+      p_call_costs = call_costs;
+    }
 
 (* Convenience: wrap a serial body as a single-stage pipeline. *)
 let serial ?(arrays = []) ?(params = []) ?(call_costs = []) name body =

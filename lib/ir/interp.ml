@@ -64,8 +64,23 @@ type state = {
 exception Budget_exceeded
 
 (* Guard against non-terminating or pathologically slow candidate
-   pipelines during profile-guided search. *)
-let max_ops = ref 60_000_000
+   pipelines during profile-guided search. The budget state is
+   domain-local: concurrent [run]s under the parallel harness
+   (Phloem_util.Pool) each count and enforce their own budget instead of
+   racing on one shared counter. *)
+type budget = { mutable bg_ops : int; mutable bg_limit : int }
+
+let budget_key : budget Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { bg_ops = 0; bg_limit = 60_000_000 })
+
+let max_ops () = (Domain.DLS.get budget_key).bg_limit
+let set_max_ops n = (Domain.DLS.get budget_key).bg_limit <- n
+
+let with_max_ops n f =
+  let b = Domain.DLS.get budget_key in
+  let saved = b.bg_limit in
+  b.bg_limit <- n;
+  Fun.protect ~finally:(fun () -> b.bg_limit <- saved) f
 
 type result = {
   r_arrays : (array_id * value array) list;
@@ -165,11 +180,10 @@ let eval_unop op a =
 
 (* --- micro-op emission helpers --- *)
 
-let ops_emitted = ref 0
-
 let check_budget () =
-  incr ops_emitted;
-  if !ops_emitted > !max_ops then raise Budget_exceeded
+  let b = Domain.DLS.get budget_key in
+  b.bg_ops <- b.bg_ops + 1;
+  if b.bg_ops > b.bg_limit then raise Budget_exceeded
 
 let push_alu cx ~dep1 ~dep2 =
   check_budget ();
@@ -514,7 +528,7 @@ type step =
 exception Deadlock of string
 
 let run ?(inputs = []) (p : pipeline) : result =
-  ops_emitted := 0;
+  (Domain.DLS.get budget_key).bg_ops <- 0;
   let n_stages = List.length p.p_stages in
   let n_ras = List.length p.p_ras in
   let n_queues =

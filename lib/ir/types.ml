@@ -122,11 +122,43 @@ type pipeline = {
       (* Cost in ALU micro-ops of each opaque callee. *)
 }
 
-let site_counter = ref 0
+(* Site ids must be unique only within one pipeline, but they double as the
+   branch-predictor PC, so their *values* are part of the timing model's
+   input. The atomic counter below hands out build-time ids (safe to call
+   from any domain); [renumber_sites] then canonicalizes a finished pipeline
+   to a preorder numbering so that identical programs always carry identical
+   site ids, no matter how many pipelines were built before them or on which
+   domain. Without this, predictor-table aliasing — and therefore cycle
+   counts — would drift with global build history. *)
+let site_counter = Atomic.make 0
+let fresh_site () = Atomic.fetch_and_add site_counter 1 + 1
 
-let fresh_site () =
-  incr site_counter;
-  !site_counter
+let renumber_sites (p : pipeline) : pipeline =
+  let next = ref 0 in
+  let fresh () =
+    incr next;
+    !next
+  in
+  let rec stmt = function
+    | If (_, c, t, f) ->
+      let id = fresh () in
+      If (id, c, block t, block f)
+    | While (_, c, b) ->
+      let id = fresh () in
+      While (id, c, block b)
+    | For (_, v, lo, hi, b) ->
+      let id = fresh () in
+      For (id, v, lo, hi, block b)
+    | ( Assign _ | Store _ | Atomic_min _ | Atomic_add _ | Prefetch _ | Enq _
+      | Enq_ctrl _ | Enq_indexed _ | Break | Exit_loops _ | Barrier _
+      | Seq_marker _ ) as s ->
+      s
+  and block b = List.map stmt b in
+  let handler h = { h with h_body = block h.h_body } in
+  let stage st =
+    { st with s_body = block st.s_body; s_handlers = List.map handler st.s_handlers }
+  in
+  { p with p_stages = List.map stage p.p_stages }
 
 (* --- small accessors used across the compiler --- *)
 

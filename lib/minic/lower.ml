@@ -332,13 +332,14 @@ let to_serial_pipeline ?(name = "") (lw : lowered)
     (fun (s, _) ->
       if not (List.mem_assoc s scalars) then fail "scalar parameter %s not bound" s)
     lw.lw_scalars;
-  ( {
-      I.p_name = (if name = "" then lw.lw_name else name);
-      p_stages = [ { I.s_name = "serial"; s_body = lw.lw_body; s_handlers = [] } ];
-      p_queues = [];
-      p_ras = [];
-      p_arrays = decls;
-      p_params = scalars;
-      p_call_costs = lw.lw_call_costs;
-    },
+  ( I.renumber_sites
+      {
+        I.p_name = (if name = "" then lw.lw_name else name);
+        p_stages = [ { I.s_name = "serial"; s_body = lw.lw_body; s_handlers = [] } ];
+        p_queues = [];
+        p_ras = [];
+        p_arrays = decls;
+        p_params = scalars;
+        p_call_costs = lw.lw_call_costs;
+      },
     arrays )

@@ -171,11 +171,23 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
         enq_counts.(out_q) <- max enq_counts.(out_q) (seq + 1)
       done)
     trace.Trace.ras;
-  let cap_of q =
-    match List.find_opt (fun (d : Types.queue_decl) -> d.q_id = q) p.Types.p_queues with
-    | Some d -> d.q_capacity
-    | None -> cfg.queue_depth
+  (* q_id -> capacity, precomputed once: looking each queue up with
+     List.find_opt over the declarations is O(queues) per queue, O(q^2)
+     total at setup, which shows up on wide replicated pipelines. *)
+  let q_caps =
+    let top =
+      List.fold_left
+        (fun acc (d : Types.queue_decl) -> max acc (d.q_id + 1))
+        n_queues p.Types.p_queues
+    in
+    let caps = Array.make (max top 1) cfg.queue_depth in
+    List.iter
+      (fun (d : Types.queue_decl) ->
+        if d.q_id >= 0 then caps.(d.q_id) <- d.q_capacity)
+      p.Types.p_queues;
+    caps
   in
+  let cap_of q = if q < Array.length q_caps then q_caps.(q) else cfg.queue_depth in
   let queues =
     Array.init (max n_queues 1) (fun q ->
         ignore enq_counts.(q);
@@ -236,6 +248,14 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
   let total_dispatched = ref 0 in
   let now = ref 0 in
   let progress = ref false in
+  (* Threads still running. The per-cycle sweeps (issued_this_cycle reset,
+     retire, stall accounting) iterate this set instead of all threads, so
+     long-finished threads cost nothing; it is pruned at cycle end whenever
+     some thread completed. *)
+  let live =
+    ref (Array.of_list (List.filter (fun th -> not th.done_) (Array.to_list threads)))
+  in
+  let live_dirty = ref false in
 
   (* Telemetry probes: queue occupancy and RA outstanding fetches are gauges
      (also exported as Chrome counter tracks); everything cumulative is a
@@ -328,6 +348,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
     done;
     if th.retire_ptr >= th.n_ops && not th.done_ then begin
       th.done_ <- true;
+      live_dirty := true;
       (match telemetry with
       | Some tel -> Telemetry.end_thread_state tel ~thread:th.th_id ~cycle:!now
       | None -> ());
@@ -632,6 +653,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
     Array.iter
       (fun th ->
         if not th.done_ then begin
+          (* live set not yet pruned this cycle, so recheck done_ *)
           let sc = classify th in
           (match sc with
           | Sc_issue -> th.cy_issue <- th.cy_issue + delta
@@ -643,20 +665,17 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
             Telemetry.set_thread_state tel ~thread:th.th_id ~cycle:!now (state_name sc)
           | None -> ()
         end)
-      threads
+      !live
   in
 
-  let all_done () = Array.for_all (fun th -> th.done_) threads in
   let guard = ref 0 in
   let cycle_budget = 500_000_000 in
-  while not (all_done ()) do
+  while Array.length !live > 0 do
     if !now > cycle_budget then
       raise (Stuck (Printf.sprintf "cycle budget exceeded at %d" !now));
     progress := false;
-    Array.iter (fun th -> th.issued_this_cycle <- 0) threads;
-    Array.iter
-      (fun th -> if not th.done_ then retire th)
-      threads;
+    Array.iter (fun th -> th.issued_this_cycle <- 0) !live;
+    Array.iter (fun th -> if not th.done_ then retire th) !live;
     Array.iter
       (fun core_threads ->
         let nth = Array.length core_threads in
@@ -720,16 +739,26 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
       | None ->
         incr guard;
         if !guard > 4 then begin
-          let states =
-            Array.to_list threads
-            |> List.filter (fun th -> not th.done_)
-            |> List.map (fun th ->
-                   Printf.sprintf "t%d@%d/%d" th.th_id th.retire_ptr th.n_ops)
-            |> String.concat " "
-          in
-          raise (Stuck (Printf.sprintf "no progress at cycle %d: %s" !now states))
+          let buf = Buffer.create 64 in
+          Array.iter
+            (fun th ->
+              if not th.done_ then begin
+                if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+                Buffer.add_string buf
+                  (Printf.sprintf "t%d@%d/%d" th.th_id th.retire_ptr th.n_ops)
+              end)
+            threads;
+          raise
+            (Stuck
+               (Printf.sprintf "no progress at cycle %d: %s" !now
+                  (Buffer.contents buf)))
         end;
         incr now
+    end;
+    if !live_dirty then begin
+      live :=
+        Array.of_list (List.filter (fun th -> not th.done_) (Array.to_list !live));
+      live_dirty := false
     end
   done;
   (match telemetry with

@@ -39,8 +39,15 @@ let default_sink r =
 let sink : (record -> unit) ref = ref default_sink
 let set_sink f = sink := f
 
+(* Emission is serialized: parallel harness jobs (Phloem_util.Pool) log
+   from several domains at once, and neither stderr lines nor custom sinks
+   (e.g. the capture buffer below) are domain-safe on their own. *)
+let emit_mutex = Mutex.create ()
+
 let emit ~component l msg =
-  if enabled l then !sink { r_level = l; r_component = component; r_message = msg }
+  if enabled l then
+    Mutex.protect emit_mutex (fun () ->
+        !sink { r_level = l; r_component = component; r_message = msg })
 
 let logf ?(component = "phloem") l fmt =
   if enabled l then Printf.ksprintf (fun s -> emit ~component l s) fmt

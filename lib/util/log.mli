@@ -1,6 +1,11 @@
 (** Structured diagnostics: level-filtered records routed to a pluggable
     sink. The default sink writes to stderr; the default level is [Warn] so
-    library code stays quiet unless a caller opts in. *)
+    library code stays quiet unless a caller opts in.
+
+    Emission is domain-safe: a mutex serializes sink invocations, so
+    records from parallel harness jobs never interleave and capture sinks
+    need no locking of their own. [set_level]/[set_sink] are still
+    process-global configuration — set them before fanning work out. *)
 
 type level = Debug | Info | Warn | Error
 

@@ -1,0 +1,170 @@
+(* Work pool on OCaml 5 domains. A fixed set of worker domains blocks on a
+   task deque; [map] carves its item array into chunks, pushes one drain
+   task per worker, and the submitting domain drains chunks alongside them.
+   Results land in a pre-sized slot array indexed by item position, which
+   is what makes the returned order independent of the completion order. *)
+
+type batch_state = {
+  b_mutex : Mutex.t; (* guards next/completed/exn of this batch *)
+  mutable b_next : int; (* next chunk index to hand out *)
+  mutable b_completed : int;
+  b_n_chunks : int;
+  (* lowest-index failure so that which exception surfaces does not depend
+     on the domain schedule *)
+  mutable b_exn : (int * exn * Printexc.raw_backtrace) option;
+  b_done : Condition.t; (* signalled when completed = n_chunks *)
+}
+
+type t = {
+  n_jobs : int;
+  mutex : Mutex.t; (* guards tasks/stopped *)
+  work : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set in every worker domain: a [map] issued from inside a job must not
+   block on the pool it is running on, so nested submits execute inline. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let worker_loop pool =
+  Domain.DLS.set in_worker true;
+  let rec next () =
+    Mutex.lock pool.mutex;
+    let rec wait () =
+      if pool.stopped then begin
+        Mutex.unlock pool.mutex;
+        None
+      end
+      else
+        match Queue.take_opt pool.tasks with
+        | Some task ->
+          Mutex.unlock pool.mutex;
+          Some task
+        | None ->
+          Condition.wait pool.work pool.mutex;
+          wait ()
+    in
+    match wait () with
+    | None -> ()
+    | Some task ->
+      task ();
+      next ()
+  in
+  next ()
+
+let create ?jobs () =
+  let n_jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let pool =
+    {
+      n_jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      tasks = Queue.create ();
+      stopped = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs t = t.n_jobs
+
+let serial_map f items = Array.init (Array.length items) (fun i -> f items.(i))
+
+let map ?(chunk = 1) t f items =
+  let n = Array.length items in
+  let chunk = max 1 chunk in
+  if n = 0 then [||]
+  else if t.n_jobs <= 1 || n = 1 || Domain.DLS.get in_worker then
+    (* serial / nested path: run inline, in order, in this domain *)
+    serial_map f items
+  else begin
+    if t.stopped then invalid_arg "Pool.map: pool is shut down";
+    let n_chunks = (n + chunk - 1) / chunk in
+    let results = Array.make n None in
+    let batch =
+      {
+        b_mutex = Mutex.create ();
+        b_next = 0;
+        b_completed = 0;
+        b_n_chunks = n_chunks;
+        b_exn = None;
+        b_done = Condition.create ();
+      }
+    in
+    let take_chunk () =
+      Mutex.lock batch.b_mutex;
+      let ci = batch.b_next in
+      let r = if ci < n_chunks then (batch.b_next <- ci + 1; Some ci) else None in
+      Mutex.unlock batch.b_mutex;
+      r
+    in
+    let run_chunk ci =
+      let lo = ci * chunk in
+      let hi = min n (lo + chunk) in
+      let failure = ref None in
+      (try
+         for i = lo to hi - 1 do
+           results.(i) <- Some (f items.(i))
+         done
+       with e -> failure := Some (lo, e, Printexc.get_raw_backtrace ()));
+      Mutex.lock batch.b_mutex;
+      (match (!failure, batch.b_exn) with
+      | Some (i, _, _), Some (j, _, _) when j <= i -> ()
+      | Some _, _ -> batch.b_exn <- !failure
+      | None, _ -> ());
+      batch.b_completed <- batch.b_completed + 1;
+      if batch.b_completed = n_chunks then Condition.broadcast batch.b_done;
+      Mutex.unlock batch.b_mutex
+    in
+    let drain () =
+      let rec go () =
+        match take_chunk () with
+        | Some ci ->
+          run_chunk ci;
+          go ()
+        | None -> ()
+      in
+      go ()
+    in
+    (* one drain task per worker; a task arriving after the batch is spent
+       finds no chunk and exits immediately *)
+    Mutex.lock t.mutex;
+    for _ = 2 to min t.n_jobs n_chunks do
+      Queue.add drain t.tasks
+    done;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* the submitter works too, then waits out any straggler chunks *)
+    drain ();
+    Mutex.lock batch.b_mutex;
+    while batch.b_completed < n_chunks do
+      Condition.wait batch.b_done batch.b_mutex
+    done;
+    Mutex.unlock batch.b_mutex;
+    match batch.b_exn with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ?chunk t f l = Array.to_list (map ?chunk t f (Array.of_list l))
+let run t thunks = map_list t (fun thunk -> thunk ()) thunks
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopped <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  let ws = t.workers in
+  t.workers <- [];
+  List.iter Domain.join ws
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -13,6 +13,24 @@ let next_i64 t =
 
 let next t = Int64.to_int (Int64.shift_right_logical (next_i64 t) 2)
 
+(* The splitmix64 output finalizer on its own: a bijective mixer used to
+   derive well-separated child states. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_i64 t }
+
+let of_key ~seed ~key =
+  {
+    state =
+      mix64
+        (Int64.logxor
+           (mix64 (Int64.of_int seed))
+           (Int64.mul (Int64.add (Int64.of_int key) 1L) 0x9E3779B97F4A7C15L));
+  }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int";
   next t mod bound

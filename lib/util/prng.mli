@@ -9,6 +9,18 @@ val create : int -> t
 (** [create seed] makes a fresh generator. *)
 
 val copy : t -> t
+
+val split : t -> t
+(** [split t] derives an independent child generator, advancing [t] once.
+    Successive splits of one parent yield distinct, well-separated
+    streams. *)
+
+val of_key : seed:int -> key:int -> t
+(** [of_key ~seed ~key] is a keyed stream: a pure function of [(seed,
+    key)], independent of the order in which streams are created. Use one
+    key per job so parallel runs draw identical numbers under any domain
+    schedule. *)
+
 val next : t -> int
 (** [next t] is a uniformly distributed 62-bit non-negative int. *)
 
