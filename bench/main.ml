@@ -11,7 +11,10 @@
      dune exec bench/main.exe --json out.json # fig9-11 data as JSON
      dune exec bench/main.exe -- --jobs 4     # parallel sweep on 4 domains
      dune exec bench/main.exe -- --wall --jobs 4   # wall-clock speedup
-                                              # report -> BENCH_parallel.json *)
+                                              # report -> BENCH_parallel.json
+     dune exec bench/main.exe -- --compare old.json new.json
+                                              # regression diff; exit 4 on a
+                                              # regression (0 with --warn) *)
 
 let micro () =
   print_endline "\n==== Bechamel micro-benchmarks (simulator primitives) ====";
@@ -92,6 +95,8 @@ type opts = {
   o_wall : string option; (* --wall[=FILE]: wall-clock speedup report *)
   o_pgo : bool; (* --no-pgo: skip profile-guided search *)
   o_only : string list option; (* --only A,B: restrict sweep inputs *)
+  o_compare : (string * string) option; (* --compare OLD NEW: diff reports *)
+  o_warn : bool; (* --warn: report regressions without failing *)
   o_args : string list; (* positional experiment names *)
 }
 
@@ -111,6 +116,9 @@ let parse_args args =
     | "--no-pgo" :: rest -> go { o with o_pgo = false } rest
     | "--only" :: names :: rest ->
       go { o with o_only = Some (split_commas names) } rest
+    | "--compare" :: old_f :: new_f :: rest ->
+      go { o with o_compare = Some (old_f, new_f) } rest
+    | "--warn" :: rest -> go { o with o_warn = true } rest
     | a :: rest -> (
       match
         ( prefixed "--json=" a,
@@ -131,9 +139,34 @@ let parse_args args =
       o_wall = None;
       o_pgo = true;
       o_only = None;
+      o_compare = None;
+      o_warn = false;
       o_args = [];
     }
     args
+
+(* --- --compare OLD NEW: diff two evaluation JSON reports and exit 4 on a
+   regression beyond the default thresholds (unless --warn). --- *)
+
+let compare_reports ~warn old_file new_file =
+  let module R = Phloem_harness.Regress in
+  Printf.printf "==== Benchmark comparison: %s -> %s ====\n" old_file new_file;
+  match R.compare_files ~old_file ~new_file () with
+  | exception Pipette.Telemetry.Json.Parse_error msg ->
+    Printf.eprintf "error: malformed report: %s\n" msg;
+    exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+  | o ->
+    print_string (R.render o);
+    if R.regressed o then
+      if warn then
+        print_endline "regressions found (exit 0: --warn)"
+      else begin
+        print_endline "regressions found";
+        exit 4
+      end
 
 (* --- --wall: wall-clock seconds of the standard sweep, serial vs pooled,
    with a byte-equality check of the two JSON reports. --- *)
@@ -206,6 +239,9 @@ let () =
     | "micro" -> micro ()
     | other -> Printf.eprintf "unknown experiment %s\n" other
   in
+  match o.o_compare with
+  | Some (old_f, new_f) -> compare_reports ~warn:o.o_warn old_f new_f
+  | None -> (
   match o.o_wall with
   | Some file ->
     wall_benchmark ~pool ~scale ?only_inputs:o.o_only ~pgo:o.o_pgo ~file
@@ -224,4 +260,4 @@ let () =
     | None, [] ->
       E.run_all_experiments ~pool ~scale ();
       micro ()
-    | None, args -> List.iter dispatch args)
+    | None, args -> List.iter dispatch args))

@@ -1,6 +1,6 @@
 (* simulate: run one benchmark / variant / input on the Pipette model and
    report cycles, IPC, breakdowns and energy — as text, and optionally as a
-   machine-readable JSON report (--json) and a Chrome trace-event file
+   machine-readable JSON report (--json), a Chrome trace-event file
    (--trace-out) with per-thread stall timelines and queue-occupancy
    counter tracks. *)
 
@@ -47,7 +47,8 @@ let bind_bench bench input scale =
 (* Empty traces report 0 cycles; keep the derived ratios finite. *)
 let fdiv a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
 
-let simulate bench variant input scale json_out trace_out sample_interval jobs =
+let simulate bench variant input scale json_out trace_out sample_interval jobs
+    profile =
   let b = bind_bench bench input scale in
   let serial_p, serial_in = b.Workload.b_serial in
   let p, inputs =
@@ -109,6 +110,16 @@ let simulate bench variant input scale json_out trace_out sample_interval jobs =
   Printf.printf "  energy (nJ): core %.0f, memory %.0f, queues+RA %.0f, static %.0f\n"
     e.Pipette.Energy.e_core_dynamic e.Pipette.Energy.e_memory
     e.Pipette.Energy.e_queues_ras e.Pipette.Energy.e_static;
+  let analysis =
+    if profile then
+      Some (Pipette.Sim.analyze ~stage_names:(Pipette.Sim.stage_names p) r)
+    else None
+  in
+  (match analysis with
+  | Some rep ->
+    print_newline ();
+    print_string (Pipette.Analysis.render rep)
+  | None -> ());
   (match json_out with
   | None -> ()
   | Some file ->
@@ -132,7 +143,12 @@ let simulate bench variant input scale json_out trace_out sample_interval jobs =
       | Some tel -> [ ("telemetry", Pipette.Telemetry.report_json tel) ]
       | None -> []
     in
-    to_file file (Obj (meta @ core @ tel));
+    let ana =
+      match analysis with
+      | Some rep -> [ ("analysis", Pipette.Analysis.json_of_report rep) ]
+      | None -> []
+    in
+    to_file file (Obj (meta @ core @ tel @ ana));
     Printf.printf "  JSON report written to %s\n" file);
   (match (trace_out, telemetry) with
   | Some file, Some tel ->
@@ -186,11 +202,21 @@ let jobs_arg =
           "domains used to run the independent simulations (default: the \
            recommended domain count; 1 = fully serial)")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "print the bottleneck-attribution report: per-stage issue/stall \
+           balance, per-queue full/empty stall cycles and occupancy, the \
+           critical queue, and a headroom estimate (also added to --json \
+           under \"analysis\")")
+
 let cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"run one benchmark variant on the Pipette simulator")
     Term.(
       const simulate $ bench_arg $ variant_arg $ input_arg $ scale_arg $ json_arg
-      $ trace_arg $ interval_arg $ jobs_arg)
+      $ trace_arg $ interval_arg $ jobs_arg $ profile_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -22,17 +22,22 @@ type measurement = {
 
 let of_run ~variant ~serial_cycles ~ok (r : Pipette.Sim.run) =
   let t = r.Pipette.Sim.sr_timing in
+  (* A degenerate baseline (serial_cycles = 0, e.g. an empty kernel) must
+     not poison the derived fields with inf/nan: report neutral values. *)
   let sc = float_of_int serial_cycles in
+  let over_sc x = if serial_cycles = 0 then 0.0 else float_of_int x /. sc in
   {
     m_variant = variant;
     m_cycles = t.Pipette.Engine.cycles;
     m_instrs = t.Pipette.Engine.instrs;
-    m_speedup = sc /. float_of_int t.Pipette.Engine.cycles;
+    m_speedup =
+      (if serial_cycles = 0 || t.Pipette.Engine.cycles = 0 then 1.0
+       else sc /. float_of_int t.Pipette.Engine.cycles);
     m_ok = ok;
-    m_issue = float_of_int t.Pipette.Engine.issue_cycles /. sc;
-    m_backend = float_of_int t.Pipette.Engine.backend_cycles /. sc;
-    m_queue = float_of_int t.Pipette.Engine.queue_cycles /. sc;
-    m_other = float_of_int t.Pipette.Engine.other_cycles /. sc;
+    m_issue = over_sc t.Pipette.Engine.issue_cycles;
+    m_backend = over_sc t.Pipette.Engine.backend_cycles;
+    m_queue = over_sc t.Pipette.Engine.queue_cycles;
+    m_other = over_sc t.Pipette.Engine.other_cycles;
     m_energy = r.Pipette.Sim.sr_energy;
     m_stages =
       t.Pipette.Engine.n_threads

@@ -1,0 +1,60 @@
+(** Bottleneck attribution: turns a run's refined stall counters
+    ({!Engine.attribution}) into an actionable report — per-stage
+    issue/stall balance, the critical (most stall-attributed) queue with
+    backpressure vs starvation direction, per-cache-level backend blame,
+    and a quantified headroom estimate for splitting the bottleneck
+    stage. *)
+
+type stage_report = {
+  st_thread : int;
+  st_name : string;
+  st_issue : int;  (** cycles with at least one op issued *)
+  st_backend : int;  (** stalled on memory or operands *)
+  st_backend_level : int array;
+      (** [|port/unattributed; L1; L2; L3; DRAM|], sums to [st_backend] *)
+  st_queue_full : int;  (** blocked enqueueing: downstream backpressure *)
+  st_queue_empty : int;  (** starved dequeueing: upstream too slow *)
+  st_barrier : int;
+  st_other : int;  (** frontend / mispredict recovery *)
+  st_total : int;  (** cycles accounted to this thread *)
+  st_service : int;
+      (** [issue + backend + other]: cycles spent on the stage's own work
+          rather than waiting on the pipeline *)
+}
+
+type queue_report = {
+  q_id : int;
+  q_capacity : int;
+  q_full : int;  (** producer-blocked cycles, summed over threads *)
+  q_empty : int;  (** consumer-starved cycles, summed over threads *)
+  q_enqs : int;
+  q_deqs : int;
+  q_producers : int list;  (** thread ids observed enqueueing *)
+  q_consumers : int list;
+  q_occ_hist : int array;  (** buckets sum to the run's cycle count *)
+  q_mean_occ : float;
+  q_frac_full : float;  (** fraction of the run at full occupancy *)
+  q_frac_empty : float;  (** fraction of the run empty *)
+}
+
+type report = {
+  r_cycles : int;
+  r_stages : stage_report array;
+  r_queues : queue_report array;
+  r_bottleneck : int option;  (** thread id of the highest-service stage *)
+  r_critical_queue : int option;  (** most stall-attributed queue id *)
+  r_headroom : float;
+      (** estimated speedup bound if the bottleneck stage were split:
+          [cycles / next-highest stage service], clamped to [>= 1] *)
+  r_diagnosis : string list;  (** human-readable findings, in order *)
+}
+
+val of_result : ?stage_names:string array -> Engine.result -> report
+(** Build a report from a finished run. [stage_names], when given, labels
+    threads by pipeline stage (missing entries fall back to [threadN]). *)
+
+val render : report -> string
+(** Human-readable report: per-stage and per-queue tables, a queue-stall
+    reconciliation line, and the diagnosis list. *)
+
+val json_of_report : report -> Telemetry.Json.t

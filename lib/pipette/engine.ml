@@ -15,6 +15,27 @@ let unset = max_int
 
 type stall_class = Sc_issue | Sc_backend | Sc_queue | Sc_other
 
+(* Refined stall attribution. The 4-way [stall_class] split is what the
+   aggregate result reports (and what the default output prints); each
+   non-issue cycle additionally carries a cause: which queue blocked the
+   thread and in which direction (full = downstream backpressure, empty =
+   upstream starvation), or which cache level served the load the thread is
+   waiting on. The mapping reason -> class is total and fixed, so refined
+   counts always reconcile exactly with the 4-way aggregates. *)
+type stall_reason =
+  | R_issue
+  | R_backend of int (* serving cache level: 0 = port/unattributed, 1..3 = L1..L3, 4 = DRAM *)
+  | R_queue_full of int (* queue id: enqueue blocked, downstream backpressure *)
+  | R_queue_empty of int (* queue id: dequeue starved, upstream too slow *)
+  | R_barrier
+  | R_other
+
+let class_of_reason = function
+  | R_issue -> Sc_issue
+  | R_backend _ -> Sc_backend
+  | R_queue_full _ | R_queue_empty _ | R_barrier -> Sc_queue
+  | R_other -> Sc_other
+
 type thread_state = {
   th_id : int;
   th_core : int;
@@ -41,6 +62,14 @@ type thread_state = {
   mutable cy_backend : int;
   mutable cy_queue : int;
   mutable cy_other : int;
+  (* refined attribution, reconciling with the 4-way split above *)
+  aq_full : int array; (* per queue: cycles blocked enqueueing into it *)
+  aq_empty : int array; (* per queue: cycles starved dequeueing from it *)
+  mutable cy_barrier : int; (* barrier waits (counted under cy_queue) *)
+  backend_lvl : int array; (* 0 = port/unattributed, 1..3 = L1..L3, 4 = DRAM *)
+  enq_ops : int array; (* per queue: enqueues issued (producer map) *)
+  deq_ops : int array; (* per queue: dequeues issued (consumer map) *)
+  svc : Bytes.t; (* cache level that served each memory op, 0 otherwise *)
 }
 
 type queue_state = {
@@ -71,6 +100,35 @@ type ra_state = {
   mutable fetches : int;
 }
 
+(* Per-queue attribution: all arrays indexed by thread id. [qa_occ_hist]
+   counts, for each occupancy value 0..capacity, the cycles the queue spent
+   at that occupancy — buckets sum exactly to the run's cycle count. *)
+type queue_attr = {
+  qa_id : int;
+  qa_capacity : int;
+  qa_full : int array; (* cycles each thread spent blocked enqueueing *)
+  qa_empty : int array; (* cycles each thread spent starved dequeueing *)
+  qa_enqs : int array; (* enqueues issued by each thread *)
+  qa_deqs : int array; (* dequeues issued by each thread *)
+  qa_occ_hist : int array;
+}
+
+(* Refined attribution of the run. Reconciliation invariants (asserted in
+   tests): per thread, queue-full + queue-empty + barrier = queue_cycles and
+   the backend-level buckets sum to backend_cycles; per-thread class arrays
+   sum to the aggregate class fields of [result]. *)
+type attribution = {
+  at_queues : queue_attr array;
+  at_issue : int array; (* per-thread 4-way split, summing to the aggregates *)
+  at_backend : int array;
+  at_queue : int array;
+  at_other : int array;
+  at_barrier : int array; (* per thread: barrier waits within at_queue *)
+  at_backend_level : int array array;
+      (* per thread: [|port/unattributed; L1; L2; L3; DRAM|], summing to
+         at_backend *)
+}
+
 type result = {
   cycles : int;
   instrs : int;
@@ -85,6 +143,7 @@ type result = {
   ra_fetches : int;
   n_threads : int;
   n_cores_used : int;
+  attribution : attribution;
 }
 
 exception Stuck of string
@@ -113,6 +172,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
       ~history_bits:cfg.predictor_history_bits ~n_threads
   in
   let events = Heap.create () in
+  let n_queues = trace.Trace.n_queues in
   let threads =
     Array.mapi
       (fun i (tt : Trace.thread_trace) ->
@@ -141,11 +201,17 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           cy_backend = 0;
           cy_queue = 0;
           cy_other = 0;
+          aq_full = Array.make (max n_queues 1) 0;
+          aq_empty = Array.make (max n_queues 1) 0;
+          cy_barrier = 0;
+          backend_lvl = Array.make 5 0;
+          enq_ops = Array.make (max n_queues 1) 0;
+          deq_ops = Array.make (max n_queues 1) 0;
+          svc = Bytes.make (max n 1) '\000';
         })
       trace.Trace.threads
   in
   (* Queue state: size each enq_done array by total enqueues seen. *)
-  let n_queues = trace.Trace.n_queues in
   let enq_counts = Array.make (max n_queues 1) 0 in
   Array.iter
     (fun th ->
@@ -198,6 +264,13 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           ra_consumed = 0;
           occupancy = 0;
         })
+  in
+  (* Per-queue occupancy histograms: bucket [o] counts the cycles queue [q]
+     spent holding exactly [o] elements. Advanced with the same deltas as
+     stall accounting, so each histogram partitions the run's cycles. *)
+  let occ_hist =
+    Array.init (max n_queues 1) (fun q ->
+        Array.make (queues.(q).qs_capacity + 1) 0)
   in
   let ras =
     Array.mapi
@@ -275,10 +348,19 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
       threads;
     Array.iteri
       (fun q qs ->
-        if q < n_queues then
+        if q < n_queues then begin
           Telemetry.register_gauge tel
             ~name:(Printf.sprintf "queue%d.occupancy" q)
-            (fun () -> qs.occupancy))
+            (fun () -> qs.occupancy);
+          Telemetry.register_counter tel
+            ~name:(Printf.sprintf "queue%d.full_stall_cycles" q)
+            (fun () ->
+              Array.fold_left (fun acc th -> acc + th.aq_full.(q)) 0 threads);
+          Telemetry.register_counter tel
+            ~name:(Printf.sprintf "queue%d.empty_stall_cycles" q)
+            (fun () ->
+              Array.fold_left (fun acc th -> acc + th.aq_empty.(q)) 0 threads)
+        end)
       queues;
     Array.iteri
       (fun r ra ->
@@ -398,17 +480,21 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
       let ok, latency =
         if k = Trace.op_alu then (true, 1)
         else if k = Trace.op_branch then (true, 1)
-        else if k = Trace.op_load then
+        else if k = Trace.op_load then begin
           let r = Cache.access caches ~core:th.th_core ~addr:th.pa.(i) ~now:!now in
+          Bytes.set th.svc i (Char.chr r.Cache.level_hit);
           (true, r.Cache.latency)
+        end
         else if k = Trace.op_store then begin
           ignore (Cache.access caches ~core:th.th_core ~addr:th.pa.(i) ~now:!now);
           (true, 1) (* retires through the store buffer *)
         end
-        else if k = Trace.op_atomic then
+        else if k = Trace.op_atomic then begin
           (* locked read-modify-write: pays the access plus serialization *)
           let r = Cache.access caches ~core:th.th_core ~addr:th.pa.(i) ~now:!now in
+          Bytes.set th.svc i (Char.chr r.Cache.level_hit);
           (true, r.Cache.latency + 18)
+        end
         else if k = Trace.op_prefetch then begin
           Cache.prefetch caches ~core:th.th_core ~addr:th.pa.(i) ~now:!now;
           (true, 1)
@@ -420,6 +506,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
             q.occupancy <- q.occupancy + 1;
             Vec.Int_vec.push q.arrived_at (!now + 1);
             incr queue_ops;
+            th.enq_ops.(th.pa.(i)) <- th.enq_ops.(th.pa.(i)) + 1;
             (true, 1)
           end
         end
@@ -432,6 +519,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
             q.deq_issued <- q.deq_issued + 1;
             q.occupancy <- q.occupancy - 1;
             incr queue_ops;
+            th.deq_ops.(th.pa.(i)) <- th.deq_ops.(th.pa.(i)) + 1;
             (true, 1)
           end
           else (false, 0)
@@ -602,10 +690,12 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
     done
   in
 
-  (* Stall classification for accounting. *)
-  let classify th : stall_class =
-    if th.issued_this_cycle > 0 then Sc_issue
-    else if th.blocked_branch >= 0 then Sc_other
+  (* Stall classification for accounting. The reason refines the 4-way
+     class; [class_of_reason] maps it back so the aggregate split is
+     unchanged by the finer attribution. *)
+  let classify th : stall_reason =
+    if th.issued_this_cycle > 0 then R_issue
+    else if th.blocked_branch >= 0 then R_other
     else begin
       (* find first unissued op *)
       let rec first node =
@@ -614,31 +704,47 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
         else first th.link.(node)
       in
       let i = first th.unissued_head in
-      if i < 0 then Sc_other (* window empty: frontend *)
+      if i < 0 then R_other (* window empty: frontend *)
       else begin
         let k = th.kind.(i) in
+        (* serving cache level of the first pending load/atomic operand,
+           or 0 when the wait is a port conflict / not memory-shaped *)
+        let dep_level () =
+          let lvl d acc =
+            if d <> Trace.no_dep && th.comp.(d) > !now then
+              let dk = th.kind.(d) in
+              if dk = Trace.op_load || dk = Trace.op_atomic then
+                Char.code (Bytes.get th.svc d)
+              else acc
+            else acc
+          in
+          lvl th.dep1.(i) (lvl th.dep2.(i) (lvl th.dep3.(i) 0))
+        in
         if k = Trace.op_enq then
           let q = queues.(th.pa.(i)) in
-          if q.occupancy >= q.qs_capacity then Sc_queue else Sc_backend
+          if q.occupancy >= q.qs_capacity then R_queue_full th.pa.(i)
+          else R_backend (dep_level ())
         else if k = Trace.op_deq then
           let q = queues.(th.pa.(i)) in
           if
             q.deq_issued >= Vec.Int_vec.length q.arrived_at
             || Vec.Int_vec.get q.arrived_at q.deq_issued > !now
-          then Sc_queue
-          else Sc_backend
-        else if k = Trace.op_barrier then Sc_queue
+          then R_queue_empty th.pa.(i)
+          else R_backend (dep_level ())
+        else if k = Trace.op_barrier then R_barrier
         else begin
           (* blocked on operands: attribute by the producer's kind *)
           let dep_kind d acc =
             if d <> Trace.no_dep && th.comp.(d) > !now then
               let dk = th.kind.(d) in
-              if dk = Trace.op_load || dk = Trace.op_atomic then Sc_backend
-              else if dk = Trace.op_deq then Sc_queue
+              if dk = Trace.op_load || dk = Trace.op_atomic then
+                R_backend (Char.code (Bytes.get th.svc d))
+              else if dk = Trace.op_deq then R_queue_empty th.pa.(d)
               else acc
             else acc
           in
-          dep_kind th.dep1.(i) (dep_kind th.dep2.(i) (dep_kind th.dep3.(i) Sc_backend))
+          dep_kind th.dep1.(i)
+            (dep_kind th.dep2.(i) (dep_kind th.dep3.(i) (R_backend 0)))
         end
       end
     end
@@ -650,19 +756,35 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
     | Sc_other -> "other"
   in
   let account delta =
+    for q = 0 to n_queues - 1 do
+      let h = occ_hist.(q) in
+      let b = min queues.(q).occupancy (Array.length h - 1) in
+      h.(b) <- h.(b) + delta
+    done;
     Array.iter
       (fun th ->
         if not th.done_ then begin
           (* live set not yet pruned this cycle, so recheck done_ *)
-          let sc = classify th in
-          (match sc with
-          | Sc_issue -> th.cy_issue <- th.cy_issue + delta
-          | Sc_backend -> th.cy_backend <- th.cy_backend + delta
-          | Sc_queue -> th.cy_queue <- th.cy_queue + delta
-          | Sc_other -> th.cy_other <- th.cy_other + delta);
+          let r = classify th in
+          (match r with
+          | R_issue -> th.cy_issue <- th.cy_issue + delta
+          | R_backend lvl ->
+            th.cy_backend <- th.cy_backend + delta;
+            th.backend_lvl.(lvl) <- th.backend_lvl.(lvl) + delta
+          | R_queue_full q ->
+            th.cy_queue <- th.cy_queue + delta;
+            th.aq_full.(q) <- th.aq_full.(q) + delta
+          | R_queue_empty q ->
+            th.cy_queue <- th.cy_queue + delta;
+            th.aq_empty.(q) <- th.aq_empty.(q) + delta
+          | R_barrier ->
+            th.cy_queue <- th.cy_queue + delta;
+            th.cy_barrier <- th.cy_barrier + delta
+          | R_other -> th.cy_other <- th.cy_other + delta);
           match telemetry with
           | Some tel ->
-            Telemetry.set_thread_state tel ~thread:th.th_id ~cycle:!now (state_name sc)
+            Telemetry.set_thread_state tel ~thread:th.th_id ~cycle:!now
+              (state_name (class_of_reason r))
           | None -> ()
         end)
       !live
@@ -765,6 +887,28 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
   | Some tel -> Telemetry.finish tel ~cycle:!now
   | None -> ());
   let sum f = Array.fold_left (fun acc th -> acc + f th) 0 threads in
+  let per f = Array.map f threads in
+  let attribution =
+    {
+      at_queues =
+        Array.init n_queues (fun q ->
+            {
+              qa_id = q;
+              qa_capacity = queues.(q).qs_capacity;
+              qa_full = per (fun th -> th.aq_full.(q));
+              qa_empty = per (fun th -> th.aq_empty.(q));
+              qa_enqs = per (fun th -> th.enq_ops.(q));
+              qa_deqs = per (fun th -> th.deq_ops.(q));
+              qa_occ_hist = Array.copy occ_hist.(q);
+            });
+      at_issue = per (fun th -> th.cy_issue);
+      at_backend = per (fun th -> th.cy_backend);
+      at_queue = per (fun th -> th.cy_queue);
+      at_other = per (fun th -> th.cy_other);
+      at_barrier = per (fun th -> th.cy_barrier);
+      at_backend_level = per (fun th -> Array.copy th.backend_lvl);
+    }
+  in
   {
     cycles = !now;
     instrs = sum (fun th -> th.n_ops);
@@ -779,4 +923,5 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
     ra_fetches = Array.fold_left (fun acc r -> acc + r.fetches) 0 ras;
     n_threads;
     n_cores_used;
+    attribution;
   }

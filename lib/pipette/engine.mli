@@ -1,0 +1,79 @@
+(** Cycle-level timing replay of micro-op traces on the Pipette
+    architecture. Each pipeline stage is an SMT thread; per cycle a core
+    dispatches in program order, issues out of order within per-thread
+    windows (subject to data deps, memory ports, queue occupancy, and
+    branch redirects), and retires in order. Stall cycles fast-forward
+    through an event heap. *)
+
+type queue_attr = {
+  qa_id : int;
+  qa_capacity : int;
+  qa_full : int array;
+      (** per thread: cycles blocked enqueueing into this queue while it was
+          full (downstream backpressure) *)
+  qa_empty : int array;
+      (** per thread: cycles starved waiting on a dequeue from this queue
+          (upstream too slow) *)
+  qa_enqs : int array;  (** per thread: enqueues issued (the producer map) *)
+  qa_deqs : int array;  (** per thread: dequeues issued (the consumer map) *)
+  qa_occ_hist : int array;
+      (** cycles spent at each occupancy 0..capacity; buckets sum exactly to
+          the run's cycle count *)
+}
+
+type attribution = {
+  at_queues : queue_attr array;  (** indexed by queue id *)
+  at_issue : int array;  (** per-thread 4-way split, summing to aggregates *)
+  at_backend : int array;
+  at_queue : int array;
+  at_other : int array;
+  at_barrier : int array;
+      (** per thread: barrier-wait cycles, included in [at_queue] *)
+  at_backend_level : int array array;
+      (** per thread: backend stalls blamed on the serving cache level
+          [|port/unattributed; L1; L2; L3; DRAM|], summing to [at_backend] *)
+}
+(** Refined stall attribution. Reconciliation invariants: for every thread
+    [t], [sum_q qa_full.(t) + sum_q qa_empty.(t) + at_barrier.(t) =
+    at_queue.(t)] and [Array.fold_left (+) 0 at_backend_level.(t) =
+    at_backend.(t)]; the per-thread arrays sum to the aggregate fields of
+    {!result}. *)
+
+type result = {
+  cycles : int;
+  instrs : int;
+  issue_cycles : int;  (** summed over threads *)
+  backend_cycles : int;
+  queue_cycles : int;
+  other_cycles : int;
+  cache : Cache.counters;
+  branch_lookups : int;
+  branch_mispredicts : int;
+  queue_ops : int;
+  ra_fetches : int;
+  n_threads : int;
+  n_cores_used : int;
+  attribution : attribution;
+}
+
+exception Stuck of string
+(** No thread can make progress and no event is pending: a timing-model
+    deadlock (or the cycle budget was exceeded). *)
+
+val default_thread_core : Config.t -> int -> int array
+(** [default_thread_core cfg n] packs [n] threads onto cores,
+    [cfg.smt_threads] per core; raises [Invalid_argument] if they do not
+    fit. *)
+
+val run :
+  ?cfg:Config.t ->
+  ?thread_core:int array ->
+  ?ra_core:int array ->
+  ?telemetry:Telemetry.t ->
+  Phloem_ir.Types.pipeline ->
+  Phloem_ir.Trace.t ->
+  result
+(** Replay [trace] of pipeline [p] and return cycle counts, breakdowns, and
+    the refined stall {!attribution}. [telemetry], when given, receives
+    interval samples and per-thread stall-state timelines; the default path
+    pays one pattern match per hook site. *)

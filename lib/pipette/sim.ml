@@ -102,6 +102,11 @@ let run ?(cfg = Config.default) ?thread_core ?(inputs = []) ?telemetry
   in
   { sr_functional = functional; sr_timing = timing; sr_energy = Energy.of_result timing }
 
+let stage_names (p : Types.pipeline) =
+  Array.of_list (List.map (fun (s : Types.stage) -> s.Types.s_name) p.Types.p_stages)
+
+let analyze ?stage_names r = Analysis.of_result ?stage_names r.sr_timing
+
 (* Machine-readable report of one run's aggregate counters. The numbers here
    must equal the plain-text report printed by the CLI tools: both read the
    same [Engine.result] fields. *)

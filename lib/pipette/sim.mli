@@ -34,6 +34,12 @@ val run :
     @raise Phloem_ir.Interp.Runtime_error on execution errors
     @raise Phloem_ir.Interp.Deadlock if the queue network deadlocks *)
 
+val stage_names : Phloem_ir.Types.pipeline -> string array
+(** Stage names in thread order, for labeling {!analyze} reports. *)
+
+val analyze : ?stage_names:string array -> run -> Analysis.report
+(** Bottleneck attribution for a finished run; see {!Analysis.of_result}. *)
+
 val json_of_run : run -> Telemetry.Json.t
 (** Machine-readable report of a run's aggregate counters (cycles, IPC,
     cycle breakdown, cache/branch/queue/RA counters, energy). The values

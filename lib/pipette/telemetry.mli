@@ -1,0 +1,103 @@
+(** Observability layer for the timing engine: a counter/gauge probe
+    registry with periodic interval sampling, per-thread stall-state
+    timelines, a dependency-free JSON value type (emitter and parser), and
+    a Chrome trace-event exporter (loadable in chrome://tracing or
+    Perfetto).
+
+    The engine owns the probes: it registers readers against a {!t} created
+    by the caller, feeds thread-state transitions as it classifies stalls,
+    and calls {!maybe_sample} once per simulated step. Counters are sampled
+    as deltas since the previous sample, so a run's deltas sum exactly to
+    its final aggregates; gauges are instantaneous. *)
+
+(** Minimal JSON value type with a writer and a strict parser; no external
+    dependencies are available in this tree. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val to_file : string -> t -> unit
+
+  exception Parse_error of string
+
+  val of_string : string -> t
+  (** Parse strict JSON. Numbers without ['.'], ['e'] or ['E'] parse as
+      [Int]; others as [Float].
+      @raise Parse_error on malformed input. *)
+
+  val of_file : string -> t
+
+  val member : string -> t -> t option
+  (** [member k j] is field [k] of object [j], or [None]. *)
+
+  val to_float_opt : t -> float option
+  (** Numeric value of an [Int] or [Float] node. *)
+end
+
+type sample = {
+  s_cycle : int;
+  s_values : (string * int) array;
+      (** counter deltas since the previous sample / gauge values, in
+          registration order *)
+}
+
+type span = { sp_thread : int; sp_state : string; sp_start : int; sp_end : int }
+type point = { pt_track : string; pt_cycle : int; pt_value : int }
+
+type t
+
+val create : ?interval:int -> ?max_events:int -> unit -> t
+(** [create ()] makes an empty telemetry sink sampling every [interval]
+    cycles (default 1000), dropping events past [max_events] (default 2M).
+    @raise Invalid_argument if [interval <= 0]. *)
+
+val interval : t -> int
+
+val register_counter : t -> name:string -> (unit -> int) -> unit
+(** Register a monotonic counter probe; sampled as deltas. *)
+
+val register_gauge : t -> name:string -> (unit -> int) -> unit
+(** Register an instantaneous-value probe; also exported as a Chrome
+    counter track. *)
+
+val set_thread_meta : t -> thread:int -> core:int -> name:string -> unit
+
+val set_thread_state : t -> thread:int -> cycle:int -> string -> unit
+(** Record that [thread] is in [state] as of [cycle]; closes the previous
+    state's span when the state changes (zero-length spans are elided). *)
+
+val end_thread_state : t -> thread:int -> cycle:int -> unit
+
+val maybe_sample : t -> cycle:int -> unit
+(** Called once per engine step; samples at most once per call, at the
+    first crossed interval boundary (fast-forwarded regions collapse into
+    one sample so counter deltas still partition the run). *)
+
+val finish : t -> cycle:int -> unit
+(** Close all open spans and flush a final sample so counter deltas sum
+    exactly to the run's aggregates. Idempotent. *)
+
+val samples : t -> sample list
+val spans : t -> span list
+val points : t -> point list
+val dropped_events : t -> int
+
+val sum_counter : t -> string -> int
+(** Sum of a counter probe's deltas across all samples taken so far. *)
+
+val report_json : t -> Json.t
+(** [{sample_interval; dropped_events; samples: [{cycle; values}]}]. *)
+
+val trace_json : t -> Json.t
+(** Chrome trace-event export: per-thread stall-state timelines as complete
+    ["X"] events grouped by core, plus one ["C"] counter track per gauge;
+    timestamps are simulated cycles via the microsecond field. *)
+
+val write_trace_file : t -> string -> unit
