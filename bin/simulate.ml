@@ -47,8 +47,8 @@ let bind_bench bench input scale =
 (* Empty traces report 0 cycles; keep the derived ratios finite. *)
 let fdiv a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
 
-let simulate bench variant input scale json_out trace_out sample_interval jobs
-    profile =
+let rec simulate bench variant input scale json_out trace_out sample_interval
+    jobs profile inject fault_key watchdog cycle_budget =
   let b = bind_bench bench input scale in
   let serial_p, serial_in = b.Workload.b_serial in
   let p, inputs =
@@ -62,26 +62,75 @@ let simulate bench variant input scale json_out trace_out sample_interval jobs
       | None -> failwith "no manual pipeline for this benchmark")
     | other -> failwith (Printf.sprintf "unknown variant %s" other)
   in
+  let faults =
+    match inject with
+    | None -> None
+    | Some s -> (
+      match Pipette.Faults.of_string s with
+      | Ok plan ->
+        let plan =
+          match fault_key with
+          | Some k -> { plan with Pipette.Faults.fp_key = k }
+          | None -> plan
+        in
+        Some (Pipette.Faults.create plan)
+      | Error msg ->
+        Printf.eprintf "simulate: bad --inject plan: %s\n" msg;
+        exit 2)
+  in
   let telemetry =
     if json_out <> None || trace_out <> None then
       Some (Pipette.Telemetry.create ~interval:sample_interval ())
     else None
   in
+  (* A wedged run (deadlock / livelock / exhausted cycle budget) surfaces
+     as a structured forensics report: rendered to stdout, written to
+     --json when given, and mapped to a distinct exit code (deadlock 5,
+     livelock 6, budget 7) so CI can tell the failure modes apart. *)
+  let fail_and_exit (fr : Phloem_ir.Forensics.report) =
+    print_string (Phloem_ir.Forensics.render fr);
+    (match json_out with
+    | Some file ->
+      let open Pipette.Telemetry.Json in
+      let flt =
+        match faults with
+        | Some f -> [ ("faults", Pipette.Faults.json_of_counters f) ]
+        | None -> []
+      in
+      to_file file
+        (Obj
+           ([
+              ("bench", Str bench);
+              ("variant", Str variant);
+              ("input", Str input);
+              ("failure", Pipette.Analysis.json_of_failure fr);
+            ]
+           @ flt));
+      Printf.printf "  failure JSON written to %s\n" file
+    | None -> ());
+    Phloem_ir.Forensics.exit_code fr.Phloem_ir.Forensics.fr_kind
+  in
   (* The serial baseline and the variant run are independent simulations:
      with --jobs > 1 they execute on separate domains; --jobs 1 runs them
-     in order on this one, exactly the previous path. *)
-  let sr, r =
-    match
-      Phloem_util.Pool.with_pool ~jobs (fun pool ->
-          Phloem_util.Pool.run pool
-            [
-              (fun () -> Pipette.Sim.run ~inputs:serial_in serial_p);
-              (fun () -> Pipette.Sim.run ~inputs ?telemetry p);
-            ])
-    with
-    | [ sr; r ] -> (sr, r)
-    | _ -> assert false
-  in
+     in order on this one, exactly the previous path. Faults are injected
+     into the variant run only — the serial baseline stays clean. *)
+  match
+    Phloem_util.Pool.with_pool ~jobs (fun pool ->
+        Phloem_util.Pool.run pool
+          [
+            (fun () -> Pipette.Sim.run ~inputs:serial_in serial_p);
+            (fun () ->
+              Pipette.Sim.run ~inputs ?telemetry ?faults ?watchdog ?cycle_budget
+                p);
+          ])
+  with
+  | exception Phloem_ir.Forensics.Pipeline_failure fr -> fail_and_exit fr
+  | [ sr; r ] -> report bench variant input scale json_out trace_out profile
+                   faults telemetry b p sr r
+  | _ -> assert false
+
+and report bench variant input scale json_out trace_out profile faults telemetry
+    b p sr r =
   let serial_cycles = Pipette.Sim.cycles sr in
   let t = r.Pipette.Sim.sr_timing in
   let ok = Workload.check b r.Pipette.Sim.sr_functional in
@@ -110,6 +159,16 @@ let simulate bench variant input scale json_out trace_out sample_interval jobs
   Printf.printf "  energy (nJ): core %.0f, memory %.0f, queues+RA %.0f, static %.0f\n"
     e.Pipette.Energy.e_core_dynamic e.Pipette.Energy.e_memory
     e.Pipette.Energy.e_queues_ras e.Pipette.Energy.e_static;
+  (match faults with
+  | Some f ->
+    let c = Pipette.Faults.counters f in
+    Printf.printf
+      "  faults injected: %d (drops %d, dups %d, spikes %d, stall-cycles %d, \
+       kills %d, poisons %d)\n"
+      (Pipette.Faults.total f) c.Pipette.Faults.c_drops c.Pipette.Faults.c_dups
+      c.Pipette.Faults.c_spikes c.Pipette.Faults.c_stall_cycles
+      c.Pipette.Faults.c_kills c.Pipette.Faults.c_poisons
+  | None -> ());
   let analysis =
     if profile then
       Some (Pipette.Sim.analyze ~stage_names:(Pipette.Sim.stage_names p) r)
@@ -148,7 +207,12 @@ let simulate bench variant input scale json_out trace_out sample_interval jobs
       | Some rep -> [ ("analysis", Pipette.Analysis.json_of_report rep) ]
       | None -> []
     in
-    to_file file (Obj (meta @ core @ tel @ ana));
+    let flt =
+      match faults with
+      | Some f -> [ ("faults", Pipette.Faults.json_of_counters f) ]
+      | None -> []
+    in
+    to_file file (Obj (meta @ core @ flt @ tel @ ana));
     Printf.printf "  JSON report written to %s\n" file);
   (match (trace_out, telemetry) with
   | Some file, Some tel ->
@@ -212,11 +276,60 @@ let profile_arg =
            critical queue, and a headroom estimate (also added to --json \
            under \"analysis\")")
 
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"PLAN"
+        ~doc:
+          "inject deterministic faults into the variant run (the serial \
+           baseline stays clean). $(docv) is a comma-separated plan, e.g. \
+           $(b,drop\\@q0:0.01,spike\\@dram+400:0.05,stall\\@t1:1000x200,kill\\@t2:5000,poison:0.1). \
+           Replays with the same plan and --fault-key inject identical faults.")
+
+let fault_key_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-key" ] ~docv:"K"
+        ~doc:"PRNG key for the --inject plan (default 0); fixes the replay")
+
+let watchdog_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "watchdog-window" ] ~docv:"N"
+        ~doc:
+          "declare livelock (exit 6) when no micro-op has retired for $(docv) \
+           cycles while the clock still advances (default 5000000)")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cycle-budget" ] ~docv:"N"
+        ~doc:
+          "abort with a budget-exhausted report (exit 7) past $(docv) \
+           simulated cycles (default 500000000)")
+
 let cmd =
   Cmd.v
-    (Cmd.info "simulate" ~doc:"run one benchmark variant on the Pipette simulator")
+    (Cmd.info "simulate"
+       ~doc:"run one benchmark variant on the Pipette simulator"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 on success; 2 on a result mismatch or usage error; 5 if the \
+              queue network deadlocks; 6 on livelock (watchdog window with no \
+              retirement); 7 when the cycle budget runs out while progress is \
+              still being made. Failures 5-7 print a structured forensics \
+              report (per-agent blocked-on state, cyclic wait chain, queue \
+              occupancy, diagnosis) and write it to --json when given.";
+         ])
     Term.(
       const simulate $ bench_arg $ variant_arg $ input_arg $ scale_arg $ json_arg
-      $ trace_arg $ interval_arg $ jobs_arg $ profile_arg)
+      $ trace_arg $ interval_arg $ jobs_arg $ profile_arg $ inject_arg
+      $ fault_key_arg $ watchdog_arg $ budget_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -100,16 +100,26 @@ let fig6 ?(scale = default_scale ()) () =
   let t = Table.create [ "Variant"; "Cycles"; "Speedup" ] in
   List.iter
     (fun (name, flags) ->
+      (* A variant that fails to compile *or* to simulate (e.g. a
+         Pipeline_failure under an aggressive ladder rung) renders as "-"
+         instead of aborting the figure. *)
       let cycles =
         match (name, flags) with
         | "Serial", _ -> Some sc
-        | "Manually pipelined", _ ->
-          Option.map
-            (fun mp -> Pipette.Sim.cycles (Pipette.Sim.run ~inputs:(snd mp) (fst mp)))
-            b.Workload.b_manual
+        | "Manually pipelined", _ -> (
+          match
+            Option.map
+              (fun mp -> Pipette.Sim.cycles (Pipette.Sim.run ~inputs:(snd mp) (fst mp)))
+              b.Workload.b_manual
+          with
+          | c -> c
+          | exception _ -> None)
         | _, Some flags -> (
-          match Phloem.Compile.static_flow ~flags ~stages:4 serial_p with
-          | p -> Some (Pipette.Sim.cycles (Pipette.Sim.run ~inputs p))
+          match
+            let p = Phloem.Compile.static_flow ~flags ~stages:4 serial_p in
+            Pipette.Sim.cycles (Pipette.Sim.run ~inputs p)
+          with
+          | c -> Some c
           | exception _ -> None)
         | _, None -> None
       in
@@ -122,11 +132,25 @@ let fig6 ?(scale = default_scale ()) () =
 
 (* --- Fig. 9/10/11: graph + SpMM benchmarks, all variants --- *)
 
+(* A whole (benchmark x input) cell that failed before producing any
+   measurement — typically the serial baseline itself (per-variant failures
+   live inside [Runner.all_runs.failures] instead). *)
+type cell_error = { ce_message : string; ce_backtrace : string }
+
 type bench_runs = {
   br_bench : string;
   br_input : string;
-  br_runs : Runner.all_runs;
+  br_runs : (Runner.all_runs, cell_error) result;
 }
+
+(* The cells of a sweep that did produce measurements. *)
+let ok_runs (runs : bench_runs list) : Runner.all_runs list =
+  List.filter_map
+    (fun r -> match r.br_runs with Ok a -> Some a | Error _ -> None)
+    runs
+
+let gmean_opt = function [] -> None | xs -> Some (Stats.gmean xs)
+let fmt_opt = function Some v -> fmt v | None -> "-"
 
 let graph_bound name g =
   match name with
@@ -160,8 +184,8 @@ let progress fmt = Phloem_util.Log.info ~component:"harness" fmt
    byte-identical to the serial one. [only_inputs] restricts the sweep to
    the named inputs (smoke tests, CI); [pgo] can be disabled to skip the
    profile-guided search. *)
-let run_benchmark ?pool ?only_inputs ?(pgo = true) ~scale bench : bench_runs list
-    =
+let run_benchmark ?pool ?only_inputs ?(pgo = true) ?faults ?retries ~scale bench :
+    bench_runs list =
   let keep name =
     match only_inputs with None -> true | Some names -> List.mem name names
   in
@@ -193,28 +217,80 @@ let run_benchmark ?pool ?only_inputs ?(pgo = true) ~scale bench : bench_runs lis
   pmap
     (fun (name, bind) ->
       progress "[fig9-11] %s on %s" bench name;
-      let b = bind () in
-      {
-        br_bench = bench;
-        br_input = name;
-        br_runs = Runner.run_all ?pgo_cuts:pgo ?pool b;
-      })
+      (* Degrade gracefully: a cell that fails outright (deadlocked serial
+         baseline, compile rejection before any variant ran) becomes an
+         [Error] record, and the sweep's remaining cells still run. *)
+      let runs =
+        match
+          let b = bind () in
+          Runner.run_all ?pgo_cuts:pgo ?pool ?faults ?retries b
+        with
+        | a -> Ok a
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Phloem_util.Log.warn ~component:"harness" "[fig9-11] %s on %s failed: %s"
+            bench name (Printexc.to_string e);
+          Error
+            {
+              ce_message = Printexc.to_string e;
+              ce_backtrace = Printexc.raw_backtrace_to_string bt;
+            }
+      in
+      { br_bench = bench; br_input = name; br_runs = runs })
     inputs
 
 let benches = [ "BFS"; "CC"; "PRD"; "Radii"; "SpMM" ]
 
-let collect ?pool ?(benches = benches) ?only_inputs ?pgo
+let collect ?pool ?(benches = benches) ?only_inputs ?pgo ?faults ?retries
     ?(scale = default_scale ()) () =
-  List.map (fun b -> (b, run_benchmark ?pool ?only_inputs ?pgo ~scale b)) benches
+  List.map
+    (fun b -> (b, run_benchmark ?pool ?only_inputs ?pgo ?faults ?retries ~scale b))
+    benches
 
 let gmean_of sel (runs : bench_runs list) =
-  Stats.gmean (List.map (fun r -> sel r.br_runs) runs)
+  gmean_opt (List.filter_map sel (ok_runs runs))
 
 (* Machine-readable form of a full collection (the Fig. 9-11 data): one
-   entry per benchmark, one run record per input and variant. *)
+   entry per benchmark, one run record per input and variant. Failed cells
+   become an "error" object in place of "runs", and every failure — whole
+   cells and single variants alike — is aggregated into the top-level
+   "errors" array (variant "*" marks a whole cell). *)
 let json_of_collection (all : (string * bench_runs list) list) :
     Pipette.Telemetry.Json.t =
   let open Pipette.Telemetry.Json in
+  let errors =
+    List.concat_map
+      (fun (bench, runs) ->
+        List.concat_map
+          (fun r ->
+            let tag rest =
+              Obj (("benchmark", Str bench) :: ("input", Str r.br_input) :: rest)
+            in
+            match r.br_runs with
+            | Error ce ->
+              [
+                tag
+                  [
+                    ("variant", Str "*");
+                    ("kind", Str "exception");
+                    ("message", Str ce.ce_message);
+                    ("backtrace", Str ce.ce_backtrace);
+                  ];
+              ]
+            | Ok a ->
+              List.map
+                (fun (f : Runner.failure) ->
+                  tag
+                    [
+                      ("variant", Str f.Runner.f_variant);
+                      ("kind", Str f.Runner.f_kind);
+                      ("message", Str f.Runner.f_message);
+                      ("retries", Int f.Runner.f_retries);
+                    ])
+                a.Runner.failures)
+          runs)
+      all
+  in
   Obj
     [
       ( "benchmarks",
@@ -229,20 +305,30 @@ let json_of_collection (all : (string * bench_runs list) list) :
                        (List.map
                           (fun r ->
                             Obj
-                              [
-                                ("input", Str r.br_input);
-                                ("runs", Runner.json_of_all_runs r.br_runs);
-                              ])
+                              (("input", Str r.br_input)
+                              ::
+                              (match r.br_runs with
+                              | Ok a -> [ ("runs", Runner.json_of_all_runs a) ]
+                              | Error ce ->
+                                [
+                                  ( "error",
+                                    Obj
+                                      [
+                                        ("message", Str ce.ce_message);
+                                        ("backtrace", Str ce.ce_backtrace);
+                                      ] );
+                                ])))
                           runs) );
                  ])
              all) );
+      ("errors", List errors);
     ]
 
 (* Run the full fig9-11 collection and write it as JSON; the substrate for
    scripted/CI consumption of the evaluation. *)
-let write_json_report ?pool ?benches ?only_inputs ?pgo
+let write_json_report ?pool ?benches ?only_inputs ?pgo ?faults ?retries
     ?(scale = default_scale ()) ~file () =
-  let all = collect ?pool ?benches ?only_inputs ?pgo ~scale () in
+  let all = collect ?pool ?benches ?only_inputs ?pgo ?faults ?retries ~scale () in
   Pipette.Telemetry.Json.to_file file (json_of_collection all);
   progress "[json] evaluation report written to %s" file;
   all
@@ -254,42 +340,30 @@ let fig9 ?pool ?(all = None) ?(scale = default_scale ()) () =
     Table.create
       [ "Benchmark"; "Data-parallel"; "Phloem (PGO)"; "Phloem static (x)"; "Manual" ]
   in
+  let phloem_best (a : Runner.all_runs) =
+    match (a.Runner.phloem_pgo, a.Runner.phloem_static) with
+    | Some m, _ | None, Some m -> Some m.Runner.m_speedup
+    | None, None -> None
+  in
   List.iter
     (fun (bench, runs) ->
-      let dp = gmean_of (fun r -> r.Runner.data_parallel.Runner.m_speedup) runs in
-      let ps = gmean_of (fun r -> r.Runner.phloem_static.Runner.m_speedup) runs in
-      let pp =
-        try
-          gmean_of
-            (fun r ->
-              match r.Runner.phloem_pgo with
-              | Some m -> m.Runner.m_speedup
-              | None -> r.Runner.phloem_static.Runner.m_speedup)
-            runs
-        with _ -> ps
+      let speed sel =
+        gmean_of (fun a -> Option.map (fun m -> m.Runner.m_speedup) (sel a)) runs
       in
-      let man =
-        match (List.hd runs).br_runs.Runner.manual with
-        | Some _ -> fmt (gmean_of (fun r ->
-            match r.Runner.manual with Some m -> m.Runner.m_speedup | None -> 1.0) runs)
-        | None -> "-"
-      in
-      Table.add_row t [ bench; fmt dp; fmt pp; fmt ps; man ])
+      let dp = speed (fun a -> a.Runner.data_parallel) in
+      let ps = speed (fun a -> a.Runner.phloem_static) in
+      let pp = gmean_of phloem_best runs in
+      let man = speed (fun a -> a.Runner.manual) in
+      Table.add_row t [ bench; fmt_opt dp; fmt_opt pp; fmt_opt ps; fmt_opt man ])
     all;
   let overall =
-    Stats.gmean
+    gmean_opt
       (List.concat_map
-         (fun (_, runs) ->
-           List.map
-             (fun r ->
-               match r.br_runs.Runner.phloem_pgo with
-               | Some m -> m.Runner.m_speedup
-               | None -> r.br_runs.Runner.phloem_static.Runner.m_speedup)
-             runs)
+         (fun (_, runs) -> List.filter_map phloem_best (ok_runs runs))
          all)
   in
   print_string (Table.render t);
-  Printf.printf "Overall Phloem gmean speedup over serial: %sx\n" (fmt overall)
+  Printf.printf "Overall Phloem gmean speedup over serial: %sx\n" (fmt_opt overall)
 
 let breakdown_row label (m : Runner.measurement) =
   [
@@ -311,8 +385,7 @@ let fig10 ?pool ?(all = None) ?(scale = default_scale ()) () =
     (fun (bench, runs) ->
       (* average the normalized breakdowns across inputs *)
       let avg sel =
-        let ms = List.map (fun r -> sel r.br_runs) runs in
-        let ms = List.filter_map Fun.id ms in
+        let ms = List.filter_map sel (ok_runs runs) in
         match ms with
         | [] -> None
         | _ ->
@@ -333,9 +406,11 @@ let fig10 ?pool ?(all = None) ?(scale = default_scale ()) () =
         | None -> ()
       in
       add "S" (fun r -> Some r.Runner.serial);
-      add "D" (fun r -> Some r.Runner.data_parallel);
+      add "D" (fun r -> r.Runner.data_parallel);
       add "P" (fun r ->
-          Some (match r.Runner.phloem_pgo with Some m -> m | None -> r.Runner.phloem_static));
+          match r.Runner.phloem_pgo with
+          | Some _ as m -> m
+          | None -> r.Runner.phloem_static);
       add "M" (fun r -> r.Runner.manual))
     all;
   print_string (Table.render t)
@@ -348,16 +423,22 @@ let fig11 ?pool ?(all = None) ?(scale = default_scale ()) () =
   in
   List.iter
     (fun (bench, runs) ->
+      let oks = ok_runs runs in
       let serial_tot =
-        Stats.mean
-          (List.map
-             (fun r -> Pipette.Energy.total r.br_runs.Runner.serial.Runner.m_energy)
-             runs)
+        match oks with
+        | [] -> 0.0
+        | _ ->
+          Stats.mean
+            (List.map
+               (fun (a : Runner.all_runs) ->
+                 Pipette.Energy.total a.Runner.serial.Runner.m_energy)
+               oks)
       in
       let add label sel =
-        let es = List.filter_map (fun r -> sel r.br_runs) runs in
+        let es = List.filter_map sel oks in
         match es with
         | [] -> ()
+        | _ when serial_tot = 0.0 -> ()
         | _ ->
           let n = float_of_int (List.length es) in
           let f g = List.fold_left (fun a (m : Runner.measurement) -> a +. g m.Runner.m_energy) 0.0 es /. n /. serial_tot in
@@ -372,9 +453,11 @@ let fig11 ?pool ?(all = None) ?(scale = default_scale ()) () =
             ]
       in
       add "S" (fun r -> Some r.Runner.serial);
-      add "D" (fun r -> Some r.Runner.data_parallel);
+      add "D" (fun r -> r.Runner.data_parallel);
       add "P" (fun r ->
-          Some (match r.Runner.phloem_pgo with Some m -> m | None -> r.Runner.phloem_static));
+          match r.Runner.phloem_pgo with
+          | Some _ as m -> m
+          | None -> r.Runner.phloem_static);
       add "M" (fun r -> r.Runner.manual))
     all;
   print_string (Table.render t)
@@ -393,14 +476,26 @@ let fig12 ?pool ?(scale = default_scale ()) () =
     (fun kind ->
       let runs =
         pmap
-          (fun (_, m) ->
-            let b = Taco_kernels.bind kind m in
-            Runner.run_all ?pool b)
+          (fun (name, m) ->
+            match Runner.run_all ?pool (Taco_kernels.bind kind m) with
+            | a -> Some a
+            | exception e ->
+              Phloem_util.Log.warn ~component:"harness" "[fig12] %s on %s failed: %s"
+                (Taco_kernels.name_of kind) name (Printexc.to_string e);
+              None)
           (taco_matrices ~scale)
+        |> List.filter_map Fun.id
       in
-      let dp = Stats.gmean (List.map (fun r -> r.Runner.data_parallel.Runner.m_speedup) runs) in
-      let ps = Stats.gmean (List.map (fun r -> r.Runner.phloem_static.Runner.m_speedup) runs) in
-      Table.add_row t [ Taco_kernels.name_of kind; fmt dp; fmt ps ])
+      let speed sel =
+        gmean_opt
+          (List.filter_map
+             (fun (a : Runner.all_runs) ->
+               Option.map (fun m -> m.Runner.m_speedup) (sel a))
+             runs)
+      in
+      let dp = speed (fun a -> a.Runner.data_parallel) in
+      let ps = speed (fun a -> a.Runner.phloem_static) in
+      Table.add_row t [ Taco_kernels.name_of kind; fmt_opt dp; fmt_opt ps ])
     [ Taco_kernels.Mtmul; Taco_kernels.Residual; Taco_kernels.Spmv; Taco_kernels.Sddmm ];
   print_string (Table.render t)
 
@@ -456,22 +551,21 @@ let fig14 ?(scale = default_scale ()) () =
   in
   let graphs = [ graph_of "USA-road-d-USA" ~scale; graph_of "as-Skitter" ~scale ] in
   let row name ~serial_of ~dp_of ~rep_of ~man_of =
+    (* A wedged variant (Pipeline_failure etc.) renders "-" for its cell. *)
     let speedups f =
-      Stats.gmean
-        (List.map
-           (fun g ->
-             let sc = serial_of g in
-             let c = f g in
-             float_of_int sc /. float_of_int c)
-           graphs)
+      match
+        Stats.gmean
+          (List.map
+             (fun g ->
+               let sc = serial_of g in
+               let c = f g in
+               float_of_int sc /. float_of_int c)
+             graphs)
+      with
+      | v -> fmt v
+      | exception _ -> "-"
     in
-    Table.add_row t
-      [
-        name;
-        fmt (speedups dp_of);
-        fmt (speedups rep_of);
-        fmt (speedups man_of);
-      ]
+    Table.add_row t [ name; speedups dp_of; speedups rep_of; speedups man_of ]
   in
   let serial_cycles bind_fn g =
     let b = bind_fn g in

@@ -28,6 +28,10 @@ type outcome = {
   o_regressions : delta list; (* the subset beyond its threshold *)
   o_missing : string list; (* series in OLD but absent from NEW *)
   o_added : string list; (* series in NEW but absent from OLD *)
+  o_errored : string list;
+      (* series in OLD whose absence from NEW is explained by a recorded
+         failure in NEW's "errors" array — known-errored, not silently
+         missing *)
 }
 
 let regressed outcome = outcome.o_regressions <> []
@@ -83,6 +87,59 @@ let flatten (j : Json.t) : (string * (string * float) list) list =
   | _ -> ());
   List.rev !series
 
+(* Series keys covered by a report's failure records ("bench/input/variant",
+   matching [flatten]'s key spelling): the top-level "errors" array written
+   by [Experiments.json_of_collection] plus the per-run "errors" arrays.
+   Variant "*" (a whole failed cell) yields a "bench/input/*" wildcard.
+   Failure records carry CLI-style variant names ("data-parallel"); series
+   keys use the JSON field spelling ("data_parallel") — normalize. *)
+let errored_series (j : Json.t) : string list =
+  let acc = ref [] in
+  let str k j = match Json.member k j with Some (Json.Str s) -> s | _ -> "?" in
+  let add b i v =
+    let v = String.map (fun c -> if c = '-' then '_' else c) v in
+    acc := Printf.sprintf "%s/%s/%s" b i v :: !acc
+  in
+  (match Json.member "errors" j with
+  | Some (Json.List es) ->
+    List.iter
+      (fun e -> add (str "benchmark" e) (str "input" e) (str "variant" e))
+      es
+  | _ -> ());
+  (match Json.member "benchmarks" j with
+  | Some (Json.List benches) ->
+    List.iter
+      (fun b ->
+        let bench = str "benchmark" b in
+        match Json.member "inputs" b with
+        | Some (Json.List inputs) ->
+          List.iter
+            (fun inp ->
+              let input = str "input" inp in
+              (match Json.member "error" inp with
+              | Some _ -> add bench input "*"
+              | None -> ());
+              match Option.bind (Json.member "runs" inp) (Json.member "errors") with
+              | Some (Json.List es) ->
+                List.iter (fun e -> add bench input (str "variant" e)) es
+              | _ -> ())
+            inputs
+        | _ -> ())
+      benches
+  | _ -> ());
+  List.sort_uniq compare !acc
+
+let errored_matches errored key =
+  List.exists
+    (fun e ->
+      let n = String.length e in
+      if n > 0 && e.[n - 1] = '*' then
+        let p = String.sub e 0 (n - 1) in
+        String.length key >= String.length p
+        && String.sub key 0 (String.length p) = p
+      else e = key)
+    errored
+
 let judge th metric ~old_v ~new_v =
   let change =
     if old_v = 0.0 then (if new_v = 0.0 then 0.0 else 1.0)
@@ -99,11 +156,16 @@ let judge th metric ~old_v ~new_v =
 
 let compare_json ?(thresholds = default_thresholds) ~old_j ~new_j () : outcome =
   let old_s = flatten old_j and new_s = flatten new_j in
-  let deltas = ref [] and missing = ref [] in
+  let errored = errored_series new_j in
+  let deltas = ref [] and missing = ref [] and errored_l = ref [] in
   List.iter
     (fun (key, old_metrics) ->
       match List.assoc_opt key new_s with
-      | None -> missing := key :: !missing
+      | None ->
+        (* tolerate a series NEW *knows* it lost to a failure: it is
+           reported separately, not lumped in with silent omissions *)
+        if errored_matches errored key then errored_l := key :: !errored_l
+        else missing := key :: !missing
       | Some new_metrics ->
         List.iter
           (fun (metric, old_v) ->
@@ -136,6 +198,7 @@ let compare_json ?(thresholds = default_thresholds) ~old_j ~new_j () : outcome =
     o_regressions = List.filter (fun d -> d.d_regressed) deltas;
     o_missing = List.rev !missing;
     o_added = added;
+    o_errored = List.rev !errored_l;
   }
 
 let compare_files ?thresholds ~old_file ~new_file () : outcome =
@@ -167,6 +230,9 @@ let render ?(all = false) (o : outcome) : string =
   List.iter
     (fun k -> Printf.bprintf buf "missing from new report: %s\n" k)
     o.o_missing;
+  List.iter
+    (fun k -> Printf.bprintf buf "errored in new report (see its \"errors\" array): %s\n" k)
+    o.o_errored;
   List.iter (fun k -> Printf.bprintf buf "new series: %s\n" k) o.o_added;
   Printf.bprintf buf "%d series compared, %d regression(s)\n"
     (List.length o.o_deltas) (List.length o.o_regressions);

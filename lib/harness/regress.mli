@@ -28,6 +28,10 @@ type outcome = {
   o_regressions : delta list;  (** the subset beyond its threshold *)
   o_missing : string list;  (** series in OLD but absent from NEW *)
   o_added : string list;  (** series in NEW but absent from OLD *)
+  o_errored : string list;
+      (** series in OLD whose absence from NEW is explained by a failure
+          record in NEW's ["errors"] array (a deadlocked variant, a failed
+          cell) — reported separately from silent omissions *)
 }
 
 val regressed : outcome -> bool

@@ -75,21 +75,86 @@ let json_of_measurement (m : measurement) : Pipette.Telemetry.Json.t =
           ] );
     ]
 
-exception Variant_failed of string * string
+(* One recorded per-variant failure. [f_kind] is the Forensics kind name
+   for structured pipeline failures ("deadlock" / "livelock" /
+   "budget-exhausted") and "exception" for anything else; [f_message] is
+   the full rendered forensics report in the structured case. *)
+type failure = {
+  f_variant : string;
+  f_kind : string;
+  f_message : string;
+  f_backtrace : string;
+  f_retries : int; (* attempts consumed before giving up (or succeeding) *)
+}
 
-let run_one ?(cfg = Pipette.Config.default) ?thread_core (b : Workload.bound)
-    ~variant (p, inputs) ~serial_cycles =
-  match Pipette.Sim.run ~cfg ?thread_core ~inputs p with
-  | exception e -> raise (Variant_failed (variant, Printexc.to_string e))
-  | r ->
-    let ok = Workload.check b r.Pipette.Sim.sr_functional in
-    if not ok then
-      Log.warn ~component:"runner" "%s/%s: result does not match the reference"
-        b.Workload.b_name variant;
-    let m = of_run ~variant ~serial_cycles ~ok r in
-    Log.debug ~component:"runner" "%s/%s: %d cycles, speedup %.2f" b.Workload.b_name
-      variant m.m_cycles m.m_speedup;
-    m
+let failure_of ~variant ?(retries = 0) e bt =
+  let kind, message =
+    match e with
+    | Phloem_ir.Forensics.Pipeline_failure r ->
+      (Phloem_ir.Forensics.kind_name r.Phloem_ir.Forensics.fr_kind,
+       Phloem_ir.Forensics.render r)
+    | e -> ("exception", Printexc.to_string e)
+  in
+  {
+    f_variant = variant;
+    f_kind = kind;
+    f_message = message;
+    f_backtrace = Printexc.raw_backtrace_to_string bt;
+    f_retries = retries;
+  }
+
+let json_of_failure (f : failure) : Pipette.Telemetry.Json.t =
+  let open Pipette.Telemetry.Json in
+  Obj
+    [
+      ("variant", Str f.f_variant);
+      ("kind", Str f.f_kind);
+      ("message", Str f.f_message);
+      ("backtrace", Str f.f_backtrace);
+      ("retries", Int f.f_retries);
+    ]
+
+(* Run one variant; a simulation failure becomes an [Error failure] record
+   instead of an exception. With a fault [plan], injected failures whose
+   report shows actual injections ([fr_injected > 0]) are transient by
+   construction and retried up to [retries] times, each attempt on an
+   independent PRNG stream ([Faults.rekey]); clean failures and exhausted
+   retries are recorded. *)
+let run_one ?(cfg = Pipette.Config.default) ?thread_core ?faults ?(retries = 0)
+    (b : Workload.bound) ~variant (p, inputs) ~serial_cycles :
+    (measurement, failure) result =
+  let rec go attempt =
+    let injected =
+      Option.map
+        (fun plan -> Pipette.Faults.create (Pipette.Faults.rekey plan ~attempt))
+        faults
+    in
+    match Pipette.Sim.run ~cfg ?thread_core ?faults:injected ~inputs p with
+    | exception Phloem_ir.Forensics.Pipeline_failure r
+      when r.Phloem_ir.Forensics.fr_injected > 0 && attempt < retries ->
+      Log.warn ~component:"runner"
+        "%s/%s: injected %s after %d fault(s); retrying (attempt %d/%d)"
+        b.Workload.b_name variant
+        (Phloem_ir.Forensics.kind_name r.Phloem_ir.Forensics.fr_kind)
+        r.Phloem_ir.Forensics.fr_injected (attempt + 1) retries
+      ;
+      go (attempt + 1)
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Log.warn ~component:"runner" "%s/%s failed: %s" b.Workload.b_name variant
+        (Printexc.to_string e);
+      Error (failure_of ~variant ~retries:attempt e bt)
+    | r ->
+      let ok = Workload.check b r.Pipette.Sim.sr_functional in
+      if not ok then
+        Log.warn ~component:"runner" "%s/%s: result does not match the reference"
+          b.Workload.b_name variant;
+      let m = of_run ~variant ~serial_cycles ~ok r in
+      Log.debug ~component:"runner" "%s/%s: %d cycles, speedup %.2f" b.Workload.b_name
+        variant m.m_cycles m.m_speedup;
+      Ok m
+  in
+  go 0
 
 (* The Phloem pipeline for a bound: static cost model or a provided PGO cut
    recipe (cut recipes transfer across inputs of the same kernel). *)
@@ -99,12 +164,17 @@ let phloem_pipeline ?(stages = 4) ?cuts (b : Workload.bound) =
   | Some cuts -> Phloem.Compile.with_cuts serial_p cuts
   | None -> Phloem.Compile.static_flow ~stages serial_p
 
+(* Every non-serial variant is optional: a failed cell leaves [None] plus a
+   [failures] record instead of aborting the sweep. The serial baseline is
+   the exception — without it nothing downstream (speedups, normalized
+   breakdowns) is defined, so a serial failure propagates to the caller. *)
 type all_runs = {
   serial : measurement;
-  data_parallel : measurement;
-  phloem_static : measurement;
+  data_parallel : measurement option;
+  phloem_static : measurement option;
   phloem_pgo : measurement option;
   manual : measurement option;
+  failures : failure list; (* in variant order: dp, static, pgo, manual *)
 }
 
 let json_of_all_runs (a : all_runs) : Pipette.Telemetry.Json.t =
@@ -113,20 +183,19 @@ let json_of_all_runs (a : all_runs) : Pipette.Telemetry.Json.t =
   Obj
     [
       ("serial", json_of_measurement a.serial);
-      ("data_parallel", json_of_measurement a.data_parallel);
-      ("phloem_static", json_of_measurement a.phloem_static);
+      ("data_parallel", opt a.data_parallel);
+      ("phloem_static", opt a.phloem_static);
       ("phloem_pgo", opt a.phloem_pgo);
       ("manual", opt a.manual);
+      ("errors", List (List.map json_of_failure a.failures));
     ]
 
 let run_all ?(cfg = Pipette.Config.default) ?(threads = 4) ?pgo_cuts ?pool
-    (b : Workload.bound) : all_runs =
+    ?faults ?retries (b : Workload.bound) : all_runs =
   let serial_p, serial_in = b.Workload.b_serial in
-  let sr =
-    match Pipette.Sim.run ~cfg ~inputs:serial_in serial_p with
-    | r -> r
-    | exception e -> raise (Variant_failed ("serial", Printexc.to_string e))
-  in
+  (* The baseline runs clean even under a fault plan: injecting into the
+     denominator of every speedup would poison the whole record. *)
+  let sr = Pipette.Sim.run ~cfg ~inputs:serial_in serial_p in
   let serial_cycles = Pipette.Sim.cycles sr in
   let serial_m =
     of_run ~variant:"serial" ~serial_cycles
@@ -136,30 +205,44 @@ let run_all ?(cfg = Pipette.Config.default) ?(threads = 4) ?pgo_cuts ?pool
   (* Given the serial baseline, the remaining variants (including their
      compilation) are independent jobs: fan them out over the pool. The
      thunk order fixes the result order, so pooled and serial runs build
-     the same record. *)
-  let variant_thunks : (unit -> measurement option) list =
+     the same record. Each thunk catches its own failures (compilation
+     included), so one bad cell never aborts the batch. *)
+  let guarded variant (f : unit -> (measurement, failure) result option) () :
+      measurement option * failure option =
+    match f () with
+    | None -> (None, None)
+    | Some (Ok m) -> (Some m, None)
+    | Some (Error fl) -> (None, Some fl)
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Log.warn ~component:"runner" "%s/%s failed: %s" b.Workload.b_name variant
+        (Printexc.to_string e);
+      (None, Some (failure_of ~variant e bt))
+  in
+  let variant_thunks : (unit -> measurement option * failure option) list =
     [
-      (fun () ->
-        Some
-          (run_one ~cfg b ~variant:"data-parallel"
-             (b.Workload.b_data_parallel ~threads)
-             ~serial_cycles));
-      (fun () ->
-        Some
-          (run_one ~cfg b ~variant:"phloem-static"
-             (phloem_pipeline b, serial_in)
-             ~serial_cycles));
-      (fun () ->
-        Option.map
-          (fun cuts ->
-            run_one ~cfg b ~variant:"phloem-pgo"
-              (phloem_pipeline ~cuts b, serial_in)
-              ~serial_cycles)
-          pgo_cuts);
-      (fun () ->
-        Option.map
-          (fun mp -> run_one ~cfg b ~variant:"manual" mp ~serial_cycles)
-          b.Workload.b_manual);
+      guarded "data-parallel" (fun () ->
+          Some
+            (run_one ~cfg ?faults ?retries b ~variant:"data-parallel"
+               (b.Workload.b_data_parallel ~threads)
+               ~serial_cycles));
+      guarded "phloem-static" (fun () ->
+          Some
+            (run_one ~cfg ?faults ?retries b ~variant:"phloem-static"
+               (phloem_pipeline b, serial_in)
+               ~serial_cycles));
+      guarded "phloem-pgo" (fun () ->
+          Option.map
+            (fun cuts ->
+              run_one ~cfg ?faults ?retries b ~variant:"phloem-pgo"
+                (phloem_pipeline ~cuts b, serial_in)
+                ~serial_cycles)
+            pgo_cuts);
+      guarded "manual" (fun () ->
+          Option.map
+            (fun mp ->
+              run_one ~cfg ?faults ?retries b ~variant:"manual" mp ~serial_cycles)
+            b.Workload.b_manual);
     ]
   in
   let results =
@@ -168,13 +251,14 @@ let run_all ?(cfg = Pipette.Config.default) ?(threads = 4) ?pgo_cuts ?pool
     | None -> List.map (fun f -> f ()) variant_thunks
   in
   match results with
-  | [ Some dp; Some ps; pp; man ] ->
+  | [ (dp, e1); (ps, e2); (pp, e3); (man, e4) ] ->
     {
       serial = serial_m;
       data_parallel = dp;
       phloem_static = ps;
       phloem_pgo = pp;
       manual = man;
+      failures = List.filter_map Fun.id [ e1; e2; e3; e4 ];
     }
   | _ -> assert false
 

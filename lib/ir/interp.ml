@@ -525,7 +525,9 @@ type step =
   | Step_done
   | Step_blocked of wait_reason * (unit, step) Effect.Deep.continuation
 
-exception Deadlock of string
+(* A wedged queue network raises [Forensics.Pipeline_failure] with a
+   structured report (per-agent blocked-on state, cyclic wait chain,
+   occupancy snapshot) instead of a bare string exception. *)
 
 let run ?(inputs = []) (p : pipeline) : result =
   (Domain.DLS.get budget_key).bg_ops <- 0;
@@ -659,20 +661,93 @@ let run ?(inputs = []) (p : pipeline) : result =
     done
   done;
   if not (user_stages_all_done ()) then begin
-    let describe i =
-      let name =
-        if is_user i then (List.nth p.p_stages i).s_name
-        else Printf.sprintf "ra%d" (i - n_stages)
-      in
-      match status.(i) with
-      | Blocked (Wait_queue q) -> Printf.sprintf "%s waits on q%d" name q
-      | Blocked (Wait_barrier b) -> Printf.sprintf "%s waits on barrier %d" name b
-      | Done -> Printf.sprintf "%s done" name
-      | Not_started -> Printf.sprintf "%s not started" name
-      | Runnable -> Printf.sprintf "%s runnable" name
+    let names = Forensics.agent_names p in
+    let _, producers, _ = Forensics.queue_users p in
+    let agents =
+      List.init n_fibers (fun i ->
+          {
+            Forensics.ag_id = i;
+            ag_name =
+              (if i < Array.length names then names.(i)
+               else Printf.sprintf "agent%d" i);
+            ag_blocked =
+              (match status.(i) with
+              | Blocked (Wait_queue q) -> Forensics.On_queue_empty q
+              | Blocked (Wait_barrier b) -> Forensics.On_barrier b
+              | Done -> Forensics.Finished
+              | Not_started | Runnable -> Forensics.Running);
+            ag_done_ops =
+              (if is_user i then Trace.length trace.threads.(i)
+               else Trace.ra_length trace.ras.(i - n_stages));
+            ag_total_ops = -1;
+          })
     in
-    let states = String.concat "; " (List.init n_fibers describe) in
-    raise (Deadlock (Printf.sprintf "pipeline %s deadlocked: %s" p.p_name states))
+    let waiting =
+      List.filter_map
+        (fun a ->
+          match a.Forensics.ag_blocked with
+          | Forensics.On_queue_empty q -> Some (a, q)
+          | Forensics.On_barrier _ -> Some (a, -1)
+          | _ -> None)
+        agents
+    in
+    (* Who could unblock a given agent: producers of the queue it starves
+       on; for a barrier, the non-done user stages not yet parked at it. *)
+    let unblockers a =
+      match a.Forensics.ag_blocked with
+      | Forensics.On_queue_empty q ->
+        if q < Array.length producers then
+          List.filter (fun b -> List.mem b.Forensics.ag_id producers.(q)) agents
+        else []
+      | Forensics.On_barrier b ->
+        List.filter
+          (fun x ->
+            x.Forensics.ag_id < n_stages
+            && x.Forensics.ag_blocked <> Forensics.Finished
+            && x.Forensics.ag_blocked <> Forensics.On_barrier b)
+          agents
+      | _ -> []
+    in
+    let wait_cycle = Forensics.find_wait_cycle ~waiting ~unblockers in
+    let queues =
+      List.filter_map
+        (fun rq ->
+          let occ = Queue.length rq.rq_buf in
+          if occ = 0 && rq.rq_enq_count = 0 then None
+          else
+            Some
+              { Forensics.qo_id = rq.rq_id; qo_occupancy = occ; qo_capacity = -1 })
+        (Array.to_list st.queues)
+    in
+    let diagnosis =
+      (if wait_cycle <> [] then
+         [
+           "every agent on the cyclic wait chain is starved on a queue that \
+            only another agent on the chain can fill; the network can never \
+            make progress";
+         ]
+       else [])
+      @ List.filter_map
+          (fun (a, q) ->
+            if q >= 0 && q < Array.length producers && producers.(q) = [] then
+              Some
+                (Printf.sprintf
+                   "%s dequeues q%d, but no stage or RA ever enqueues into it"
+                   a.Forensics.ag_name q)
+            else None)
+          waiting
+    in
+    Forensics.fail
+      {
+        Forensics.fr_kind = Forensics.Deadlock;
+        fr_pipeline = p.p_name;
+        fr_at = Trace.op_count trace;
+        fr_agents = agents;
+        fr_queues = queues;
+        fr_wait_cycle = wait_cycle;
+        fr_injected = 0;
+        fr_diagnosis = diagnosis;
+      }
   end;
   trace.total_ops <- Trace.op_count trace;
   {

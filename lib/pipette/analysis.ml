@@ -361,3 +361,48 @@ let json_of_report (r : report) : Telemetry.Json.t =
       ("headroom", Float r.r_headroom);
       ("diagnosis", List (List.map (fun d -> Str d) r.r_diagnosis));
     ]
+
+(* Machine-readable form of a structured pipeline-failure report, for the
+   "failure" object in CLI JSON output and the harness "errors" arrays. *)
+let json_of_failure (f : Phloem_ir.Forensics.report) : Telemetry.Json.t =
+  let open Phloem_ir.Forensics in
+  let open Telemetry.Json in
+  Obj
+    [
+      ("kind", Str (kind_name f.fr_kind));
+      ("exit_code", Int (exit_code f.fr_kind));
+      ("pipeline", Str f.fr_pipeline);
+      ("at", Int f.fr_at);
+      ("injected_faults", Int f.fr_injected);
+      ( "agents",
+        List
+          (List.map
+             (fun a ->
+               Obj
+                 [
+                   ("id", Int a.ag_id);
+                   ("name", Str a.ag_name);
+                   ("blocked_on", Str (blocked_to_string a.ag_blocked));
+                   ("done_ops", Int a.ag_done_ops);
+                   ("total_ops", Int a.ag_total_ops);
+                 ])
+             f.fr_agents) );
+      ( "queues",
+        List
+          (List.map
+             (fun q ->
+               Obj
+                 [
+                   ("id", Int q.qo_id);
+                   ("occupancy", Int q.qo_occupancy);
+                   ("capacity", Int q.qo_capacity);
+                 ])
+             f.fr_queues) );
+      ( "wait_cycle",
+        List
+          (List.map
+             (fun (a, q) ->
+               Obj [ ("agent", Str a.ag_name); ("queue", Int q) ])
+             f.fr_wait_cycle) );
+      ("diagnosis", List (List.map (fun d -> Str d) f.fr_diagnosis));
+    ]

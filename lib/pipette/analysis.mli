@@ -58,3 +58,9 @@ val render : report -> string
     reconciliation line, and the diagnosis list. *)
 
 val json_of_report : report -> Telemetry.Json.t
+
+val json_of_failure : Phloem_ir.Forensics.report -> Telemetry.Json.t
+(** Machine-readable form of a structured pipeline-failure report (failure
+    kind + exit code, per-agent blocked-on states, queue occupancy
+    snapshot, the cyclic wait chain, diagnosis), used by the CLI JSON
+    output and the harness ["errors"] arrays. *)

@@ -146,8 +146,6 @@ type result = {
   attribution : attribution;
 }
 
-exception Stuck of string
-
 let default_thread_core (cfg : Config.t) n_threads =
   Array.init n_threads (fun i ->
       let core = i / cfg.smt_threads in
@@ -158,8 +156,13 @@ let default_thread_core (cfg : Config.t) n_threads =
              n_threads cfg.n_cores cfg.smt_threads);
       core)
 
+let default_cycle_budget = 500_000_000
+let default_watchdog = 5_000_000
+
 let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
-    (p : Types.pipeline) (trace : Trace.t) : result =
+    ?faults ?(watchdog = default_watchdog)
+    ?(cycle_budget = default_cycle_budget) (p : Types.pipeline)
+    (trace : Trace.t) : result =
   let n_threads = Array.length trace.Trace.threads in
   let thread_core =
     match thread_core with
@@ -329,6 +332,16 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
     ref (Array.of_list (List.filter (fun th -> not th.done_) (Array.to_list threads)))
   in
   let live_dirty = ref false in
+  (* Fault-injection state. A killed thread stays in [live] but never
+     dispatches, issues, or retires again: its consumers starve into a
+     detectable deadlock rather than a silent wrong answer. [stalled_now]
+     is refreshed once per simulated cycle. [last_retire] feeds the
+     watchdog that separates livelock from budget exhaustion; with
+     [?faults:None] these are dead weight and no counter changes. *)
+  let killed = Array.make (max n_threads 1) false in
+  let stalled_now = Array.make (max n_threads 1) false in
+  let last_retire = ref 0 in
+  let inactive th = killed.(th.th_id) || stalled_now.(th.th_id) in
 
   (* Telemetry probes: queue occupancy and RA outstanding fetches are gauges
      (also exported as Chrome counter tracks); everything cumulative is a
@@ -420,6 +433,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
   in
 
   let retire th =
+    let before = th.retire_ptr in
     while
       th.retire_ptr < th.dispatch_ptr
       && th.comp.(th.retire_ptr) <> unset
@@ -428,6 +442,14 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
       th.retire_ptr <- th.retire_ptr + 1;
       progress := true
     done;
+    if th.retire_ptr <> before then last_retire := !now;
+    (match faults with
+    | Some f ->
+      if
+        (not th.done_)
+        && Faults.should_kill f ~thread:th.th_id ~retired:th.retire_ptr
+      then killed.(th.th_id) <- true
+    | None -> ());
     if th.retire_ptr >= th.n_ops && not th.done_ then begin
       th.done_ <- true;
       live_dirty := true;
@@ -461,6 +483,11 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
             Predictor.predict_update pred ~thread:th.th_id ~pc:th.pa.(i)
               ~taken:(th.pb.(i) = 1)
           in
+          let correct =
+            match faults with
+            | Some f -> correct && not (Faults.poison f)
+            | None -> correct
+          in
           if not correct then begin
             th.blocked_branch <- i;
             continue := false
@@ -483,7 +510,12 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
         else if k = Trace.op_load then begin
           let r = Cache.access caches ~core:th.th_core ~addr:th.pa.(i) ~now:!now in
           Bytes.set th.svc i (Char.chr r.Cache.level_hit);
-          (true, r.Cache.latency)
+          let extra =
+            match faults with
+            | Some f -> Faults.spike f ~level:r.Cache.level_hit
+            | None -> 0
+          in
+          (true, r.Cache.latency + extra)
         end
         else if k = Trace.op_store then begin
           ignore (Cache.access caches ~core:th.th_core ~addr:th.pa.(i) ~now:!now);
@@ -493,7 +525,12 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           (* locked read-modify-write: pays the access plus serialization *)
           let r = Cache.access caches ~core:th.th_core ~addr:th.pa.(i) ~now:!now in
           Bytes.set th.svc i (Char.chr r.Cache.level_hit);
-          (true, r.Cache.latency + 18)
+          let extra =
+            match faults with
+            | Some f -> Faults.spike f ~level:r.Cache.level_hit
+            | None -> 0
+          in
+          (true, r.Cache.latency + 18 + extra)
         end
         else if k = Trace.op_prefetch then begin
           Cache.prefetch caches ~core:th.th_core ~addr:th.pa.(i) ~now:!now;
@@ -503,11 +540,29 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           let q = queues.(th.pa.(i)) in
           if q.occupancy >= q.qs_capacity then (false, 0)
           else begin
-            q.occupancy <- q.occupancy + 1;
-            Vec.Int_vec.push q.arrived_at (!now + 1);
-            incr queue_ops;
-            th.enq_ops.(th.pa.(i)) <- th.enq_ops.(th.pa.(i)) + 1;
-            (true, 1)
+            match faults with
+            | Some f when Faults.drop_enq f ~queue:th.pa.(i) ->
+              (* transient enqueue failure: the op retries (and the fault
+                 re-rolls) on a later issue attempt; keep the clock moving
+                 so a long streak of drops reads as livelock rather than an
+                 eventless deadlock *)
+              Heap.push events (!now + 1);
+              (false, 0)
+            | _ ->
+              q.occupancy <- q.occupancy + 1;
+              Vec.Int_vec.push q.arrived_at (!now + 1);
+              incr queue_ops;
+              th.enq_ops.(th.pa.(i)) <- th.enq_ops.(th.pa.(i)) + 1;
+              (match faults with
+              | Some f
+                when q.occupancy < q.qs_capacity
+                     && Faults.dup_enq f ~queue:th.pa.(i) ->
+                (* phantom duplicate: occupies a slot until the end of the
+                   run — no consumer op in the trace will ever drain it *)
+                q.occupancy <- q.occupancy + 1;
+                Vec.Int_vec.push q.arrived_at (!now + 1)
+              | _ -> ());
+              (true, 1)
           end
         end
         else if k = Trace.op_deq then begin
@@ -583,7 +638,11 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
         made_progress := false;
         for off = 0 to nth - 1 do
           let th = core_threads.((start + off) mod nth) in
-          if (not th.done_) && !issue_budget > 0 && scanned.((start + off) mod nth) < cfg.sched_scan
+          if
+            (not th.done_)
+            && (not (inactive th))
+            && !issue_budget > 0
+            && scanned.((start + off) mod nth) < cfg.sched_scan
           then begin
             (* walk the unissued list, unlinking issued entries lazily *)
             let prev = ref (-1) in
@@ -676,8 +735,13 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           if ra.raddr.(i) < 0 then 1
           else begin
             ra.fetches <- ra.fetches + 1;
-            (Cache.access caches ~core:ra.ra_core ~addr:ra.raddr.(i) ~now:!now)
-              .Cache.latency
+            let base =
+              (Cache.access caches ~core:ra.ra_core ~addr:ra.raddr.(i) ~now:!now)
+                .Cache.latency
+            in
+            match faults with
+            | Some f -> base + Faults.spike f ~level:0
+            | None -> base
           end
         in
         ra.fetch_done.(i) <- !now + lat;
@@ -790,14 +854,220 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
       !live
   in
 
+  (* Build and raise the structured failure report (cold path). Blocked-on
+     states come from the live engine state; the cyclic wait chain from the
+     static producer/consumer wiring of the pipeline text. *)
+  let fail_run kind =
+    let names = Forensics.agent_names p in
+    let _, producers, consumers = Forensics.queue_users p in
+    let first_unissued th =
+      let rec go node =
+        if node < 0 then -1
+        else if Bytes.get th.issued node = '\000' then node
+        else go th.link.(node)
+      in
+      go th.unissued_head
+    in
+    (* The oldest unissued op in the window is the root cause and takes
+       priority over the frontend state: a stage wedged on a full-queue
+       enqueue usually also has an unresolved branch stuck behind it, and
+       attributing that to the frontend would hide the queue edge from the
+       wait-cycle finder. *)
+    let blocked_of th =
+      if th.done_ then Forensics.Finished
+      else if killed.(th.th_id) then Forensics.Killed
+      else begin
+        let i = first_unissued th in
+        if i < 0 then
+          if th.blocked_branch >= 0 then Forensics.On_frontend
+          else if th.retire_ptr < th.dispatch_ptr then Forensics.On_memory
+          else Forensics.On_frontend
+        else
+          let k = th.kind.(i) in
+          if k = Trace.op_enq then begin
+            let q = queues.(th.pa.(i)) in
+            if q.occupancy >= q.qs_capacity then Forensics.On_queue_full th.pa.(i)
+            else Forensics.Running
+          end
+          else if k = Trace.op_deq then begin
+            let q = queues.(th.pa.(i)) in
+            if
+              q.deq_issued >= Vec.Int_vec.length q.arrived_at
+              || Vec.Int_vec.get q.arrived_at q.deq_issued > !now
+            then Forensics.On_queue_empty th.pa.(i)
+            else Forensics.Running
+          end
+          else if k = Trace.op_barrier then Forensics.On_barrier th.pa.(i)
+          else if th.blocked_branch >= 0 then Forensics.On_frontend
+          else Forensics.On_memory
+      end
+    in
+    let thread_agents =
+      Array.to_list
+        (Array.map
+           (fun th ->
+             {
+               Forensics.ag_id = th.th_id;
+               ag_name =
+                 (if th.th_id < Array.length names then names.(th.th_id)
+                  else Printf.sprintf "thread%d" th.th_id);
+               ag_blocked = blocked_of th;
+               ag_done_ops = th.retire_ptr;
+               ag_total_ops = th.n_ops;
+             })
+           threads)
+    in
+    let ra_agents =
+      Array.to_list
+        (Array.mapi
+           (fun r ra ->
+             let id = n_threads + r in
+             let blocked =
+               if ra.next_deliver >= ra.rn then Forensics.Finished
+               else if ra.next_deliver < ra.next_start then begin
+                 let out = queues.(ra.ra_out_q) in
+                 if out.occupancy >= out.qs_capacity then
+                   Forensics.On_queue_full ra.ra_out_q
+                 else Forensics.On_memory
+               end
+               else Forensics.On_queue_empty ra.ra_in_q
+             in
+             {
+               Forensics.ag_id = id;
+               ag_name =
+                 (if id < Array.length names then names.(id)
+                  else Printf.sprintf "ra%d" r);
+               ag_blocked = blocked;
+               ag_done_ops = ra.next_deliver;
+               ag_total_ops = ra.rn;
+             })
+           ras)
+    in
+    let agents = thread_agents @ ra_agents in
+    let waiting =
+      List.filter_map
+        (fun a ->
+          match a.Forensics.ag_blocked with
+          | Forensics.On_queue_empty q | Forensics.On_queue_full q -> Some (a, q)
+          | Forensics.On_barrier _ -> Some (a, -1)
+          | _ -> None)
+        agents
+    in
+    let users tbl q = if q >= 0 && q < Array.length tbl then tbl.(q) else [] in
+    let unblockers a =
+      match a.Forensics.ag_blocked with
+      | Forensics.On_queue_empty q ->
+        List.filter (fun b -> List.mem b.Forensics.ag_id (users producers q)) agents
+      | Forensics.On_queue_full q ->
+        List.filter (fun b -> List.mem b.Forensics.ag_id (users consumers q)) agents
+      | Forensics.On_barrier bar ->
+        List.filter
+          (fun b ->
+            b.Forensics.ag_id < n_threads
+            && b.Forensics.ag_blocked <> Forensics.Finished
+            && b.Forensics.ag_blocked <> Forensics.On_barrier bar)
+          agents
+      | _ -> []
+    in
+    let wait_cycle =
+      match kind with
+      | Forensics.Budget_exhausted -> []
+      | Forensics.Deadlock | Forensics.Livelock ->
+        Forensics.find_wait_cycle ~waiting ~unblockers
+    in
+    let queue_snaps =
+      List.init n_queues (fun q ->
+          {
+            Forensics.qo_id = q;
+            qo_occupancy = queues.(q).occupancy;
+            qo_capacity = queues.(q).qs_capacity;
+          })
+    in
+    let injected = match faults with Some f -> Faults.total f | None -> 0 in
+    let diagnosis =
+      (match kind with
+      | Forensics.Deadlock when wait_cycle <> [] -> (
+        [
+          "every agent on the cyclic wait chain waits on a queue that only \
+           another agent on the chain can move; the bounded queue network \
+           can never make progress";
+        ]
+        @
+        match
+          List.filter_map
+            (fun (_, q) ->
+              if q >= 0 then Some (q, queues.(q).qs_capacity) else None)
+            wait_cycle
+        with
+        | [] -> []
+        | qs ->
+          let q, cap = List.fold_left (fun (bq, bc) (q, c) -> if c < bc then (q, c) else (bq, bc)) (List.hd qs) qs in
+          [
+            Printf.sprintf
+              "smallest queue on the chain is q%d (capacity %d); raising \
+               its capacity may break the cycle"
+              q cap;
+          ])
+      | Forensics.Deadlock -> []
+      | Forensics.Livelock ->
+        [
+          Printf.sprintf
+            "cycles kept advancing but no op retired in the last %d cycles \
+             (watchdog window): agents are active yet none completes work"
+            watchdog;
+        ]
+      | Forensics.Budget_exhausted ->
+        [
+          Printf.sprintf
+            "ops were still retiring when the %d-cycle budget ran out — \
+             likely an undersized budget, not a hang; re-run with a larger \
+             cycle budget"
+            cycle_budget;
+        ])
+      @ Array.to_list
+          (Array.map
+             (fun th ->
+               Printf.sprintf
+                 "%s was killed by fault injection after retiring %d ops; \
+                  agents downstream of it can never be unblocked"
+                 (if th.th_id < Array.length names then names.(th.th_id)
+                  else Printf.sprintf "thread%d" th.th_id)
+                 th.retire_ptr)
+             (Array.of_list
+                (List.filter (fun th -> killed.(th.th_id)) (Array.to_list threads))))
+    in
+    Forensics.fail
+      {
+        Forensics.fr_kind = kind;
+        fr_pipeline = p.Types.p_name;
+        fr_at = !now;
+        fr_agents = agents;
+        fr_queues = queue_snaps;
+        fr_wait_cycle = wait_cycle;
+        fr_injected = injected;
+        fr_diagnosis = diagnosis;
+      }
+  in
+
   let guard = ref 0 in
-  let cycle_budget = 500_000_000 in
   while Array.length !live > 0 do
     if !now > cycle_budget then
-      raise (Stuck (Printf.sprintf "cycle budget exceeded at %d" !now));
+      fail_run
+        (if !now - !last_retire > watchdog then Forensics.Livelock
+         else Forensics.Budget_exhausted)
+    else if !now - !last_retire > watchdog then fail_run Forensics.Livelock;
     progress := false;
+    (match faults with
+    | None -> ()
+    | Some f ->
+      Array.iter
+        (fun th ->
+          let rel = Faults.stall_release f ~thread:th.th_id ~now:!now in
+          stalled_now.(th.th_id) <- rel >= 0;
+          if rel >= 0 then Heap.push events rel)
+        !live);
     Array.iter (fun th -> th.issued_this_cycle <- 0) !live;
-    Array.iter (fun th -> if not th.done_ then retire th) !live;
+    Array.iter (fun th -> if (not th.done_) && not (inactive th) then retire th) !live;
     Array.iter
       (fun core_threads ->
         let nth = Array.length core_threads in
@@ -809,7 +1079,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           let share = max 1 (cfg.dispatch_width / max 1 nth) in
           for off = 0 to nth - 1 do
             let th = core_threads.((start + off) mod nth) in
-            if not th.done_ then begin
+            if (not th.done_) && not (inactive th) then begin
               let slice = ref (min share !budget) in
               let before = !slice in
               dispatch th slice;
@@ -821,7 +1091,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           let off = ref 0 in
           while !budget > 0 && !off < nth do
             let th = core_threads.((start + !off) mod nth) in
-            if not th.done_ then begin
+            if (not th.done_) && not (inactive th) then begin
               let slice = ref !budget in
               let before = !slice in
               dispatch th slice;
@@ -859,22 +1129,11 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
         account (t - !now - 1);
         now := t
       | None ->
+        (* no pending event and no progress: once transient effects are
+           given a few cycles to settle, this is a true deadlock — nothing
+           can ever run again *)
         incr guard;
-        if !guard > 4 then begin
-          let buf = Buffer.create 64 in
-          Array.iter
-            (fun th ->
-              if not th.done_ then begin
-                if Buffer.length buf > 0 then Buffer.add_char buf ' ';
-                Buffer.add_string buf
-                  (Printf.sprintf "t%d@%d/%d" th.th_id th.retire_ptr th.n_ops)
-              end)
-            threads;
-          raise
-            (Stuck
-               (Printf.sprintf "no progress at cycle %d: %s" !now
-                  (Buffer.contents buf)))
-        end;
+        if !guard > 4 then fail_run Forensics.Deadlock;
         incr now
     end;
     if !live_dirty then begin

@@ -56,9 +56,12 @@ type result = {
   attribution : attribution;
 }
 
-exception Stuck of string
-(** No thread can make progress and no event is pending: a timing-model
-    deadlock (or the cycle budget was exceeded). *)
+val default_cycle_budget : int
+(** 500M cycles: the bailout when a replay never terminates. *)
+
+val default_watchdog : int
+(** 5M cycles: the no-retire window after which a still-ticking replay is
+    declared livelocked. *)
 
 val default_thread_core : Config.t -> int -> int array
 (** [default_thread_core cfg n] packs [n] threads onto cores,
@@ -70,10 +73,23 @@ val run :
   ?thread_core:int array ->
   ?ra_core:int array ->
   ?telemetry:Telemetry.t ->
+  ?faults:Faults.t ->
+  ?watchdog:int ->
+  ?cycle_budget:int ->
   Phloem_ir.Types.pipeline ->
   Phloem_ir.Trace.t ->
   result
 (** Replay [trace] of pipeline [p] and return cycle counts, breakdowns, and
     the refined stall {!attribution}. [telemetry], when given, receives
-    interval samples and per-thread stall-state timelines; the default path
-    pays one pattern match per hook site. *)
+    interval samples and per-thread stall-state timelines; [faults] injects
+    a deterministic fault plan (see {!Faults}); with [?faults:None] and no
+    watchdog trip every counter is byte-identical to the unhooked engine.
+
+    A replay that cannot finish raises
+    [Phloem_ir.Forensics.Pipeline_failure] with a structured report that
+    separates the three failure modes: {e deadlock} (no thread can ever
+    run again — the report names the cyclic wait chain over queues),
+    {e livelock} (cycles keep elapsing but nothing retired within the
+    [watchdog] window, default {!default_watchdog}), and {e budget
+    exhaustion} (ops were still retiring when [cycle_budget], default
+    {!default_cycle_budget}, ran out). *)

@@ -87,8 +87,8 @@ let ra_cores (p : Types.pipeline) (thread_core : int array) =
   in
   Array.map (fun (r : Types.ra_config) -> core_for_out r.Types.ra_out 0) ras
 
-let run ?(cfg = Config.default) ?thread_core ?(inputs = []) ?telemetry
-    (p : Types.pipeline) : run =
+let run ?(cfg = Config.default) ?thread_core ?(inputs = []) ?telemetry ?faults
+    ?watchdog ?cycle_budget (p : Types.pipeline) : run =
   Validate.check p;
   let functional = Interp.run ~inputs p in
   let tc =
@@ -97,8 +97,8 @@ let run ?(cfg = Config.default) ?thread_core ?(inputs = []) ?telemetry
     | None -> Engine.default_thread_core cfg (List.length p.Types.p_stages)
   in
   let timing =
-    Engine.run ~cfg ~thread_core:tc ~ra_core:(ra_cores p tc) ?telemetry p
-      functional.Interp.r_trace
+    Engine.run ~cfg ~thread_core:tc ~ra_core:(ra_cores p tc) ?telemetry ?faults
+      ?watchdog ?cycle_budget p functional.Interp.r_trace
   in
   { sr_functional = functional; sr_timing = timing; sr_energy = Energy.of_result timing }
 

@@ -22,6 +22,9 @@ val run :
   ?thread_core:int array ->
   ?inputs:(string * Phloem_ir.Types.value array) list ->
   ?telemetry:Telemetry.t ->
+  ?faults:Faults.t ->
+  ?watchdog:int ->
+  ?cycle_budget:int ->
   Phloem_ir.Types.pipeline ->
   run
 (** [run p] validates and simulates [p]. [inputs] binds array contents by
@@ -29,10 +32,14 @@ val run :
     index to core (default: packed, [Config.smt_threads] per core);
     [telemetry], when given, is wired into the timing replay (interval
     samples, stall-class timelines, Chrome trace export) — the default path
-    pays no observability cost.
+    pays no observability cost. [faults], [watchdog], and [cycle_budget]
+    are forwarded to {!Engine.run}.
     @raise Phloem_ir.Validate.Invalid on malformed pipelines
     @raise Phloem_ir.Interp.Runtime_error on execution errors
-    @raise Phloem_ir.Interp.Deadlock if the queue network deadlocks *)
+    @raise Phloem_ir.Forensics.Pipeline_failure if the queue network
+    deadlocks or livelocks, or the cycle budget runs out — the exception
+    carries a structured report (failure kind, per-agent blocked-on state,
+    cyclic wait chain, queue occupancy snapshot, diagnosis) *)
 
 val stage_names : Phloem_ir.Types.pipeline -> string array
 (** Stage names in thread order, for labeling {!analyze} reports. *)

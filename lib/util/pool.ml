@@ -156,6 +156,36 @@ let map ?(chunk = 1) t f items =
 let map_list ?chunk t f l = Array.to_list (map ?chunk t f (Array.of_list l))
 let run t thunks = map_list t (fun thunk -> thunk ()) thunks
 
+(* ---- graceful degradation: per-item capture instead of batch abort ---- *)
+
+type error = {
+  e_index : int; (* exact index of the failing item, not its chunk *)
+  e_exn : exn;
+  e_backtrace : Printexc.raw_backtrace;
+}
+
+(* [guard] can never raise, so the underlying [map] batch always completes:
+   every sibling item's result survives a failure as an [Ok] cell. *)
+let guard i f x =
+  try Ok (f x)
+  with e ->
+    Error { e_index = i; e_exn = e; e_backtrace = Printexc.get_raw_backtrace () }
+
+let try_map ?chunk t f items =
+  map ?chunk t (fun (i, x) -> guard i f x) (Array.mapi (fun i x -> (i, x)) items)
+
+let try_run t thunks =
+  Array.to_list (try_map t (fun thunk -> thunk ()) (Array.of_list thunks))
+
+let first_error results =
+  Array.fold_left
+    (fun acc r ->
+      match (acc, r) with
+      | None, Error e -> Some e
+      | Some a, Error e when e.e_index < a.e_index -> Some e
+      | _ -> acc)
+    None results
+
 let shutdown t =
   Mutex.lock t.mutex;
   t.stopped <- true;

@@ -43,6 +43,26 @@ val run : t -> (unit -> 'a) list -> 'a list
 (** [run pool thunks] executes independent thunks across the pool and
     returns their results in the thunks' order. *)
 
+type error = {
+  e_index : int;  (** exact index of the failing item *)
+  e_exn : exn;
+  e_backtrace : Printexc.raw_backtrace;
+}
+(** One captured per-item failure from {!try_map}/{!try_run}. *)
+
+val try_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> ('b, error) result array
+(** Like {!map}, but a raising item becomes an [Error] cell (carrying its
+    exact index and backtrace) instead of aborting the batch: every sibling
+    item still runs and its result is preserved as an [Ok] cell, in
+    submission order. Never raises from the jobs themselves. *)
+
+val try_run : t -> (unit -> 'a) list -> ('a, error) result list
+(** {!try_map} over independent thunks, in the thunks' order. *)
+
+val first_error : ('b, error) result array -> error option
+(** The lowest-index [Error] of a {!try_map} batch, if any — the one
+    {!map} would have re-raised. *)
+
 val shutdown : t -> unit
 (** Joins the worker domains. Idempotent. Using the pool afterwards raises
     [Invalid_argument]; jobs already inline (jobs = 1) are unaffected. *)

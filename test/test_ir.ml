@@ -272,9 +272,29 @@ let test_deadlock_detection () =
       ~queues:[ queue 0 ]
       [ stage "only" [ "x" <-- deq 0 ] ]
   in
-  Alcotest.check_raises "deadlock"
-    (Interp.Deadlock "pipeline dead deadlocked: only waits on q0") (fun () ->
-      ignore (Interp.run p))
+  match Interp.run p with
+  | _ -> Alcotest.fail "expected Pipeline_failure"
+  | exception Forensics.Pipeline_failure r ->
+    Alcotest.(check string) "kind" "deadlock" (Forensics.kind_name r.fr_kind);
+    Alcotest.(check string) "pipeline" "dead" r.fr_pipeline;
+    (match r.fr_agents with
+    | [ a ] ->
+      Alcotest.(check string) "agent" "only" a.Forensics.ag_name;
+      Alcotest.(check bool) "blocked on empty q0" true
+        (a.Forensics.ag_blocked = Forensics.On_queue_empty 0)
+    | l -> Alcotest.failf "expected 1 agent, got %d" (List.length l));
+    (* q0 has no producer at all: no cycle, but a pointed diagnosis *)
+    Alcotest.(check bool) "no wait cycle" true (r.fr_wait_cycle = []);
+    Alcotest.(check bool) "diagnosis names the unproduced queue" true
+      (List.exists
+         (fun d ->
+           let has needle =
+             let nl = String.length needle and dl = String.length d in
+             let rec go i = i + nl <= dl && (String.sub d i nl = needle || go (i + 1)) in
+             go 0
+           in
+           has "q0" && has "ever enqueues")
+         r.fr_diagnosis)
 
 let test_enq_indexed () =
   (* distribute across two consumer queues by parity *)

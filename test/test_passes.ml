@@ -158,15 +158,15 @@ let test_registry () =
         (name ^ " registered")
         true
         (Phloem.Pass.find name <> None))
-    [ "decouple"; "scan-chain"; "cleanup"; "check-limits"; "validate" ];
+    [ "decouple"; "scan-chain"; "cleanup"; "check-deadlock"; "check-limits"; "validate" ];
   Alcotest.(check bool) "unknown pass absent" true (Phloem.Pass.find "nonesuch" = None);
   let std = List.map Phloem.Pass.name_of (Phloem.Passes.standard ~flags:Phloem.Pass.all_passes) in
   Alcotest.(check (list string)) "standard order (all gates)"
-    [ "decouple"; "scan-chain"; "cleanup"; "check-limits"; "validate" ]
+    [ "decouple"; "scan-chain"; "cleanup"; "check-deadlock"; "check-limits"; "validate" ]
     std;
   let min = List.map Phloem.Pass.name_of (Phloem.Passes.standard ~flags:Phloem.Pass.queues_only) in
   Alcotest.(check (list string)) "standard order (queues only)"
-    [ "decouple"; "cleanup"; "check-limits"; "validate" ]
+    [ "decouple"; "cleanup"; "check-deadlock"; "check-limits"; "validate" ]
     min
 
 let test_report_to_string () =
