@@ -6,11 +6,10 @@
 
 open Phloem_ir.Types
 
-let tmp_counter = ref 0
-
-let fresh_tmp () =
-  incr tmp_counter;
-  Printf.sprintf "__n%d" !tmp_counter
+(* Temp names restart at __n1 for every [body] call: normalized output must
+   be a pure function of its input (pipelines are digested for memoization,
+   so recompiling the same kernel has to produce byte-identical IR), and a
+   process-global counter would also race across pool domains. *)
 
 let is_atom = function Const _ | Var _ -> true | _ -> false
 
@@ -22,40 +21,40 @@ let rec has_load = function
   | Call (_, args) -> List.exists has_load args
 
 (* Flatten an expression to an atom, emitting setup statements. *)
-let rec atomize acc e =
+let rec atomize fresh acc e =
   match e with
   | Const _ | Var _ -> (acc, e)
   | _ ->
-    let acc, e' = flatten_node acc e in
-    let t = fresh_tmp () in
+    let acc, e' = flatten_node fresh acc e in
+    let t = fresh () in
     (acc @ [ Assign (t, e') ], Var t)
 
 (* Flatten one level: children become atoms, the node itself survives. *)
-and flatten_node acc e =
+and flatten_node fresh acc e =
   match e with
   | Const _ | Var _ -> (acc, e)
   | Binop (op, a, b) ->
-    let acc, a = atomize acc a in
-    let acc, b = atomize acc b in
+    let acc, a = atomize fresh acc a in
+    let acc, b = atomize fresh acc b in
     (acc, Binop (op, a, b))
   | Unop (op, a) ->
-    let acc, a = atomize acc a in
+    let acc, a = atomize fresh acc a in
     (acc, Unop (op, a))
   | Load (arr, i) ->
-    let acc, i = atomize acc i in
+    let acc, i = atomize fresh acc i in
     (acc, Load (arr, i))
   | Deq q -> (acc, Deq q)
   | Is_control a ->
-    let acc, a = atomize acc a in
+    let acc, a = atomize fresh acc a in
     (acc, Is_control a)
   | Ctrl_payload a ->
-    let acc, a = atomize acc a in
+    let acc, a = atomize fresh acc a in
     (acc, Ctrl_payload a)
   | Call (f, args) ->
     let acc, args =
       List.fold_left
         (fun (acc, rev) a ->
-          let acc, a = atomize acc a in
+          let acc, a = atomize fresh acc a in
           (acc, a :: rev))
         (acc, []) args
     in
@@ -69,52 +68,58 @@ let simple_cond e =
   | Binop (_, a, b) -> is_atom a && is_atom b && not (has_load e)
   | _ -> false
 
-let rec norm_stmt (s : stmt) : stmt list =
+let rec norm_stmt fresh (s : stmt) : stmt list =
   match s with
   | Assign (x, e) ->
-    let acc, e' = flatten_node [] e in
+    let acc, e' = flatten_node fresh [] e in
     acc @ [ Assign (x, e') ]
   | Store (arr, i, v) ->
-    let acc, i = atomize [] i in
-    let acc, v = atomize acc v in
+    let acc, i = atomize fresh [] i in
+    let acc, v = atomize fresh acc v in
     acc @ [ Store (arr, i, v) ]
   | Atomic_min (arr, i, v) ->
-    let acc, i = atomize [] i in
-    let acc, v = atomize acc v in
+    let acc, i = atomize fresh [] i in
+    let acc, v = atomize fresh acc v in
     acc @ [ Atomic_min (arr, i, v) ]
   | Atomic_add (arr, i, v) ->
-    let acc, i = atomize [] i in
-    let acc, v = atomize acc v in
+    let acc, i = atomize fresh [] i in
+    let acc, v = atomize fresh acc v in
     acc @ [ Atomic_add (arr, i, v) ]
   | Prefetch (arr, i) ->
-    let acc, i = atomize [] i in
+    let acc, i = atomize fresh [] i in
     acc @ [ Prefetch (arr, i) ]
   | Enq (q, e) ->
-    let acc, e = atomize [] e in
+    let acc, e = atomize fresh [] e in
     acc @ [ Enq (q, e) ]
   | Enq_ctrl _ -> [ s ]
   | Enq_indexed (qs, sel, e) ->
-    let acc, sel = atomize [] sel in
-    let acc, e = atomize acc e in
+    let acc, sel = atomize fresh [] sel in
+    let acc, e = atomize fresh acc e in
     acc @ [ Enq_indexed (qs, sel, e) ]
   | If (site, c, t, f) ->
-    let acc, c = atomize [] c in
-    acc @ [ If (site, c, norm_block t, norm_block f) ]
+    let acc, c = atomize fresh [] c in
+    acc @ [ If (site, c, norm_block fresh t, norm_block fresh f) ]
   | While (site, c, b) ->
-    if simple_cond c then [ While (site, c, norm_block b) ]
+    if simple_cond c then [ While (site, c, norm_block fresh b) ]
     else begin
-      let acc, c' = atomize [] c in
+      let acc, c' = atomize fresh [] c in
       let guard =
         acc @ [ If (fresh_site (), Unop (Not, c'), [ Break ], []) ]
       in
-      [ While (site, Const (Vint 1), guard @ norm_block b) ]
+      [ While (site, Const (Vint 1), guard @ norm_block fresh b) ]
     end
   | For (site, v, lo, hi, b) ->
-    let acc, lo = atomize [] lo in
-    let acc, hi = atomize acc hi in
-    acc @ [ For (site, v, lo, hi, norm_block b) ]
+    let acc, lo = atomize fresh [] lo in
+    let acc, hi = atomize fresh acc hi in
+    acc @ [ For (site, v, lo, hi, norm_block fresh b) ]
   | Break | Exit_loops _ | Barrier _ | Seq_marker _ -> [ s ]
 
-and norm_block stmts = List.concat_map norm_stmt stmts
+and norm_block fresh stmts = List.concat_map (norm_stmt fresh) stmts
 
-let body stmts = norm_block stmts
+let body stmts =
+  let n = ref 0 in
+  let fresh () =
+    incr n;
+    Printf.sprintf "__n%d" !n
+  in
+  norm_block fresh stmts

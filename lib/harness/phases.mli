@@ -1,0 +1,29 @@
+(** Wall-clock attribution for sweep work: compile / trace / simulate phase
+    accumulators plus a simulated-µop counter, shared (mutex-guarded) across
+    pool domains. The wall benchmark resets these, runs a sweep with each
+    {!Pipette.Sim} call wrapped in {!timed}, and reports the split and the
+    engine-throughput metric (ops per simulate-phase second). *)
+
+type phase = Compile | Trace | Simulate
+
+type snapshot = {
+  ph_compile_s : float;  (** pipeline → flat µop program lowering *)
+  ph_trace_s : float;  (** functional execution producing µop traces *)
+  ph_simulate_s : float;  (** timing-engine replay *)
+  ph_ops : int;  (** µops replayed by the timing engine *)
+  ph_trace_hits : int;  (** functional-trace cache hits (since last clear) *)
+  ph_trace_misses : int;
+}
+
+val timed : phase -> (unit -> 'a) -> 'a
+(** Run a thunk, charging its wall time to the phase — also when it
+    raises. *)
+
+val add_ops : int -> unit
+(** Credit [n] engine-replayed µops to the throughput counter. *)
+
+val reset : unit -> unit
+(** Zero the accumulators (cache hit counters are owned by
+    {!Pipette.Sim} and reset by [Sim.clear_caches]). *)
+
+val snapshot : unit -> snapshot

@@ -129,7 +129,18 @@ let run_one ?(cfg = Pipette.Config.default) ?thread_core ?faults ?(retries = 0)
         (fun plan -> Pipette.Faults.create (Pipette.Faults.rekey plan ~attempt))
         faults
     in
-    match Pipette.Sim.run ~cfg ?thread_core ?faults:injected ~inputs p with
+    (* Split execution so each phase is charged to its accumulator. The
+       compile and trace phases are memoized in [Sim], so retries (and
+       every other config of the same (pipeline, input) pair in the sweep)
+       reuse the functional result and pay only for the timing replay. *)
+    match
+      Phases.timed Phases.Compile (fun () -> ignore (Pipette.Sim.prepare p));
+      let fr =
+        Phases.timed Phases.Trace (fun () -> Pipette.Sim.functional ~inputs p)
+      in
+      Phases.timed Phases.Simulate (fun () ->
+          Pipette.Sim.simulate ~cfg ?thread_core ?faults:injected p fr)
+    with
     | exception Phloem_ir.Forensics.Pipeline_failure r
       when r.Phloem_ir.Forensics.fr_injected > 0 && attempt < retries ->
       Log.warn ~component:"runner"
@@ -150,6 +161,7 @@ let run_one ?(cfg = Pipette.Config.default) ?thread_core ?faults ?(retries = 0)
         Log.warn ~component:"runner" "%s/%s: result does not match the reference"
           b.Workload.b_name variant;
       let m = of_run ~variant ~serial_cycles ~ok r in
+      Phases.add_ops m.m_instrs;
       Log.debug ~component:"runner" "%s/%s: %d cycles, speedup %.2f" b.Workload.b_name
         variant m.m_cycles m.m_speedup;
       Ok m
@@ -195,7 +207,16 @@ let run_all ?(cfg = Pipette.Config.default) ?(threads = 4) ?pgo_cuts ?pool
   let serial_p, serial_in = b.Workload.b_serial in
   (* The baseline runs clean even under a fault plan: injecting into the
      denominator of every speedup would poison the whole record. *)
-  let sr = Pipette.Sim.run ~cfg ~inputs:serial_in serial_p in
+  let sr =
+    Phases.timed Phases.Compile (fun () ->
+        ignore (Pipette.Sim.prepare serial_p));
+    let fr =
+      Phases.timed Phases.Trace (fun () ->
+          Pipette.Sim.functional ~inputs:serial_in serial_p)
+    in
+    Phases.timed Phases.Simulate (fun () -> Pipette.Sim.simulate ~cfg serial_p fr)
+  in
+  Phases.add_ops (Pipette.Sim.instrs sr);
   let serial_cycles = Pipette.Sim.cycles sr in
   let serial_m =
     of_run ~variant:"serial" ~serial_cycles

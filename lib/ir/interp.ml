@@ -185,15 +185,17 @@ let check_budget () =
   b.bg_ops <- b.bg_ops + 1;
   if b.bg_ops > b.bg_limit then raise Budget_exceeded
 
-let push_alu cx ~dep1 ~dep2 =
+(* These two (plus the dequeue attempt below) are the *only* budget-check
+   sites; the compiled executor (Flat) shares them so both execution paths
+   exhaust a budget after exactly the same number of emitted ops. *)
+let push_alu tr ~dep1 ~dep2 =
   check_budget ();
-  Trace.push cx.cx_trace ~kind:Trace.op_alu ~pa:0 ~pb:0 ~dep1 ~dep2
-    ~dep3:Trace.no_dep
+  Trace.push tr ~kind:Trace.op_alu ~pa:0 ~pb:0 ~dep1 ~dep2 ~dep3:Trace.no_dep
 
-let push_branch cx ~site ~taken ~dep =
+let push_branch tr ~site ~taken ~dep =
   check_budget ();
   ignore
-    (Trace.push cx.cx_trace ~kind:Trace.op_branch ~pa:site
+    (Trace.push tr ~kind:Trace.op_branch ~pa:site
        ~pb:(if taken then 1 else 0)
        ~dep1:dep ~dep2:Trace.no_dep ~dep3:Trace.no_dep)
 
@@ -257,10 +259,10 @@ let rec eval st cx e : value * int =
     let va, ta = eval st cx a in
     let vb, tb = eval st cx b in
     let v = eval_binop op va vb in
-    (v, push_alu cx ~dep1:ta ~dep2:tb)
+    (v, push_alu cx.cx_trace ~dep1:ta ~dep2:tb)
   | Unop (op, a) ->
     let va, ta = eval st cx a in
-    (eval_unop op va, push_alu cx ~dep1:ta ~dep2:Trace.no_dep)
+    (eval_unop op va, push_alu cx.cx_trace ~dep1:ta ~dep2:Trace.no_dep)
   | Load (arr, idx) ->
     let vi, ti = eval st cx idx in
     let a, addr, size = array_addr st arr (as_int vi) in
@@ -272,13 +274,13 @@ let rec eval st cx e : value * int =
   | Deq q -> deq_with_handler st cx q
   | Is_control e ->
     let v, t = eval st cx e in
-    (int_of_bool (value_is_ctrl v), push_alu cx ~dep1:t ~dep2:Trace.no_dep)
+    (int_of_bool (value_is_ctrl v), push_alu cx.cx_trace ~dep1:t ~dep2:Trace.no_dep)
   | Ctrl_payload e ->
     let v, t = eval st cx e in
     let payload =
       match v with Vctrl c -> Vint c | Vint _ | Vfloat _ -> error "ctrl_payload of data value"
     in
-    (payload, push_alu cx ~dep1:t ~dep2:Trace.no_dep)
+    (payload, push_alu cx.cx_trace ~dep1:t ~dep2:Trace.no_dep)
   | Call (f, args) ->
     let evaluated = List.map (eval st cx) args in
     let cost =
@@ -294,9 +296,9 @@ let rec eval st cx e : value * int =
       | [ (_, t) ] -> (t, Trace.no_dep)
       | (_, t1) :: (_, t2) :: _ -> (t1, t2)
     in
-    let tok = ref (push_alu cx ~dep1 ~dep2) in
+    let tok = ref (push_alu cx.cx_trace ~dep1 ~dep2) in
     for _ = 2 to cost do
-      tok := push_alu cx ~dep1:!tok ~dep2:Trace.no_dep
+      tok := push_alu cx.cx_trace ~dep1:!tok ~dep2:Trace.no_dep
     done;
     (* A deterministic opaque mixing function keeps results checkable. *)
     let v =
@@ -402,13 +404,13 @@ and exec_stmt st cx s =
   | If (site, c, tb, fb) ->
     let v, t = eval st cx c in
     let taken = as_bool v in
-    push_branch cx ~site ~taken ~dep:t;
+    push_branch cx.cx_trace ~site ~taken ~dep:t;
     exec_block st cx (if taken then tb else fb)
   | While (site, c, body) -> (
     let rec loop () =
       let v, t = eval st cx c in
       let taken = as_bool v in
-      push_branch cx ~site ~taken ~dep:t;
+      push_branch cx.cx_trace ~site ~taken ~dep:t;
       if taken then begin
         exec_block st cx body;
         loop ()
@@ -424,12 +426,12 @@ and exec_stmt st cx s =
     let rec loop () =
       let b = lookup cx v in
       let cond = as_int b.b_value < as_int vhi in
-      let tcmp = push_alu cx ~dep1:b.b_token ~dep2:thi in
-      push_branch cx ~site ~taken:cond ~dep:tcmp;
+      let tcmp = push_alu cx.cx_trace ~dep1:b.b_token ~dep2:thi in
+      push_branch cx.cx_trace ~site ~taken:cond ~dep:tcmp;
       if cond then begin
         exec_block st cx body;
         let b = lookup cx v in
-        let t' = push_alu cx ~dep1:b.b_token ~dep2:Trace.no_dep in
+        let t' = push_alu cx.cx_trace ~dep1:b.b_token ~dep2:Trace.no_dep in
         assign cx v (eval_binop Add b.b_value (Vint 1)) t';
         loop ()
       end
@@ -529,55 +531,51 @@ type step =
    structured report (per-agent blocked-on state, cyclic wait chain,
    occupancy snapshot) instead of a bare string exception. *)
 
-let run ?(inputs = []) (p : pipeline) : result =
+(* Fresh runtime state for one execution of [p]. Shared by the tree-walking
+   interpreter below and the compiled executor (Flat): both paths must see
+   identical array layout, queue state, and a zeroed op budget. *)
+let make_state ?(inputs = []) (p : pipeline) : state =
   (Domain.DLS.get budget_key).bg_ops <- 0;
   let n_stages = List.length p.p_stages in
   let n_ras = List.length p.p_ras in
   let n_queues =
     List.fold_left (fun acc q -> max acc (q.q_id + 1)) 0 p.p_queues
   in
-  let trace = Trace.create ~n_threads:n_stages ~n_ras ~n_queues in
-  let st =
-    {
-      arrays = layout_arrays p.p_arrays inputs;
-      queues =
-        Array.init n_queues (fun i ->
-            { rq_id = i; rq_buf = Queue.create (); rq_enq_count = 0; rq_deq_count = 0 });
-      call_costs =
-        (let tbl = Hashtbl.create 8 in
-         List.iter (fun (f, c) -> Hashtbl.replace tbl f c) p.p_call_costs;
-         tbl);
-      trace;
-    }
-  in
-  (* Fiber bodies: user stages first, then RA daemons. *)
-  let stage_body i (stg : stage) () =
-    let cx =
-      {
-        cx_thread = i;
-        cx_trace = trace.threads.(i);
-        cx_env = Hashtbl.create 32;
-        cx_handlers =
-          (let tbl = Hashtbl.create 4 in
-           List.iter (fun h -> Hashtbl.replace tbl h.h_queue h) stg.s_handlers;
-           tbl);
-        cx_last_store = Hashtbl.create 8;
-        cx_barrier_occ = Hashtbl.create 4;
-      }
-    in
-    List.iter (fun (x, v) -> assign cx x v Trace.no_dep) p.p_params;
-    (try exec_block st cx stg.s_body
-     with Brk _ -> error "stage %s: break outside of loop" stg.s_name);
-    Step_done
-  in
-  let ra_body i (ra : ra_config) () =
-    (try run_ra st ra trace.ras.(i) with Stop_ra -> ());
-    Step_done
-  in
-  let bodies =
-    Array.of_list
-      (List.mapi stage_body p.p_stages @ List.mapi ra_body p.p_ras)
-  in
+  {
+    arrays = layout_arrays p.p_arrays inputs;
+    queues =
+      Array.init n_queues (fun i ->
+          { rq_id = i; rq_buf = Queue.create (); rq_enq_count = 0; rq_deq_count = 0 });
+    call_costs =
+      (let tbl = Hashtbl.create 8 in
+       List.iter (fun (f, c) -> Hashtbl.replace tbl f c) p.p_call_costs;
+       tbl);
+    trace = Trace.create ~n_threads:n_stages ~n_ras ~n_queues;
+  }
+
+(* Package the architectural result of a finished execution. *)
+let mk_result (p : pipeline) (st : state) : result =
+  let trace = st.trace in
+  trace.Trace.total_ops <- Trace.op_count trace;
+  {
+    r_arrays =
+      List.map
+        (fun d -> (d.a_name, Array.copy (Hashtbl.find st.arrays d.a_name).st_data))
+        p.p_arrays;
+    r_trace = trace;
+    r_instrs = trace.Trace.total_ops;
+    r_queue_traffic = Array.map (fun rq -> rq.rq_enq_count) st.queues;
+  }
+
+(* Deterministic round-robin scheduler over the fiber [bodies] (user stages
+   first, then RA daemons). Runs until every user stage finishes, or raises
+   the structured deadlock report when no fiber can make progress. Both
+   execution paths (tree-walking and Flat) drive their fibers through this
+   one scheduler, so interleavings — and therefore queue sequence numbers
+   and forensics reports — are identical by construction. *)
+let schedule (p : pipeline) (st : state) (bodies : (unit -> step) array) : unit =
+  let trace = st.trace in
+  let n_stages = List.length p.p_stages in
   let n_fibers = Array.length bodies in
   let status = Array.make n_fibers Not_started in
   let conts :
@@ -748,14 +746,37 @@ let run ?(inputs = []) (p : pipeline) : result =
         fr_injected = 0;
         fr_diagnosis = diagnosis;
       }
-  end;
-  trace.total_ops <- Trace.op_count trace;
-  {
-    r_arrays =
-      List.map
-        (fun d -> (d.a_name, Array.copy (Hashtbl.find st.arrays d.a_name).st_data))
-        p.p_arrays;
-    r_trace = trace;
-    r_instrs = trace.total_ops;
-    r_queue_traffic = Array.map (fun rq -> rq.rq_enq_count) st.queues;
-  }
+  end
+
+let run ?(inputs = []) (p : pipeline) : result =
+  let st = make_state ~inputs p in
+  let trace = st.trace in
+  (* Fiber bodies: user stages first, then RA daemons. *)
+  let stage_body i (stg : stage) () =
+    let cx =
+      {
+        cx_thread = i;
+        cx_trace = trace.Trace.threads.(i);
+        cx_env = Hashtbl.create 32;
+        cx_handlers =
+          (let tbl = Hashtbl.create 4 in
+           List.iter (fun h -> Hashtbl.replace tbl h.h_queue h) stg.s_handlers;
+           tbl);
+        cx_last_store = Hashtbl.create 8;
+        cx_barrier_occ = Hashtbl.create 4;
+      }
+    in
+    List.iter (fun (x, v) -> assign cx x v Trace.no_dep) p.p_params;
+    (try exec_block st cx stg.s_body
+     with Brk _ -> error "stage %s: break outside of loop" stg.s_name);
+    Step_done
+  in
+  let ra_body i (ra : ra_config) () =
+    (try run_ra st ra trace.Trace.ras.(i) with Stop_ra -> ());
+    Step_done
+  in
+  let bodies =
+    Array.of_list (List.mapi stage_body p.p_stages @ List.mapi ra_body p.p_ras)
+  in
+  schedule p st bodies;
+  mk_result p st

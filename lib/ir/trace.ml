@@ -31,6 +31,19 @@ let op_atomic = 8
 
 let no_dep = -1
 
+(* Plain-array snapshot of a finished thread trace. The timing engine indexes
+   trace columns on its hottest paths; replaying through Vec's bounds checks
+   (and re-copying the columns on every replay of a memoized trace) is pure
+   overhead, so a finished trace is packed once and the arrays reused. *)
+type packed = {
+  pk_kind : int array;
+  pk_pa : int array;
+  pk_pb : int array;
+  pk_dep1 : int array;
+  pk_dep2 : int array;
+  pk_dep3 : int array;
+}
+
 type thread_trace = {
   kind : Vec.Int_vec.t;
   pa : Vec.Int_vec.t;
@@ -38,6 +51,9 @@ type thread_trace = {
   dep1 : Vec.Int_vec.t;
   dep2 : Vec.Int_vec.t;
   dep3 : Vec.Int_vec.t;
+  mutable packed : packed option;
+      (* filled by [pack] after the interpreter finishes; never while ops
+         are still being appended *)
 }
 
 let create_thread () =
@@ -48,7 +64,29 @@ let create_thread () =
     dep1 = Vec.Int_vec.create ~capacity:1024 ();
     dep2 = Vec.Int_vec.create ~capacity:1024 ();
     dep3 = Vec.Int_vec.create ~capacity:1024 ();
+    packed = None;
   }
+
+(* Snapshot (and cache) the columns of a finished thread trace. Call only
+   once no more ops will be appended. A trace that is about to be shared
+   across domains (the harness memo cache) must be packed *before* it is
+   published, so concurrent replays only ever read the cached arrays. *)
+let pack t =
+  match t.packed with
+  | Some p -> p
+  | None ->
+    let p =
+      {
+        pk_kind = Vec.Int_vec.to_array t.kind;
+        pk_pa = Vec.Int_vec.to_array t.pa;
+        pk_pb = Vec.Int_vec.to_array t.pb;
+        pk_dep1 = Vec.Int_vec.to_array t.dep1;
+        pk_dep2 = Vec.Int_vec.to_array t.dep2;
+        pk_dep3 = Vec.Int_vec.to_array t.dep3;
+      }
+    in
+    t.packed <- Some p;
+    p
 
 let length t = Vec.Int_vec.length t.kind
 

@@ -26,6 +26,10 @@ type lowered = {
 type env = {
   mutable vars : (string * ty) list;
   externs : (string * extern_decl) list;
+  mutable n_tmp : int;
+      (* per-lowering temp counter: lowering the same kernel twice must
+         produce byte-identical IR (pipelines are digested for memoization),
+         so temps cannot come from process-global state *)
 }
 
 let lookup_var env x =
@@ -70,11 +74,9 @@ let is_logical = function Band | Bor -> true | _ -> false
 (* Builtin functions with fixed signatures, lowered to IR primitives. *)
 let builtins = [ "fabs"; "min"; "max"; "fmin"; "fmax"; "abs" ]
 
-let fresh_tmp =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    Printf.sprintf "__t%d" !n
+let fresh_tmp env =
+  env.n_tmp <- env.n_tmp + 1;
+  Printf.sprintf "__t%d" env.n_tmp
 
 (* Lowering an expression yields setup statements (for side-effecting
    sub-expressions like x++), the IR expression, and its type. *)
@@ -152,7 +154,7 @@ let rec lower_expr env (e : expr) : I.stmt list * I.expr * ty =
   | Epostincr x ->
     let t = lookup_var env x in
     if t <> Tint then fail "%s++ requires int" x;
-    let tmp = fresh_tmp () in
+    let tmp = fresh_tmp env in
     declare env tmp Tint;
     ( [ I.Assign (tmp, I.Var x); I.Assign (x, I.Binop (I.Add, I.Var x, I.Const (I.Vint 1))) ],
       I.Var tmp,
@@ -282,7 +284,7 @@ and lower_block env stmts = List.concat_map (lower_stmt env) stmts
 
 let lower_func (prog : program) (f : func) : lowered =
   let externs = List.map (fun x -> (x.x_name, x)) prog.externs in
-  let env = { vars = []; externs } in
+  let env = { vars = []; externs; n_tmp = 0 } in
   let arrays = ref [] and scalars = ref [] in
   List.iter
     (fun p ->

@@ -5,6 +5,7 @@
 
 type level = {
   sets : int;
+  set_mask : int; (* sets - 1 when sets is a power of two, else -1 *)
   ways : int;
   latency : int;
   tags : int array; (* set * ways; -1 = invalid *)
@@ -19,6 +20,7 @@ let make_level (p : Config.cache_params) ~line_bytes ~size_scale =
   let sets = max 1 (bytes / (line_bytes * p.ways)) in
   {
     sets;
+    set_mask = (if sets land (sets - 1) = 0 then sets - 1 else -1);
     ways = p.ways;
     latency = p.latency;
     tags = Array.make (sets * p.ways) (-1);
@@ -77,17 +79,23 @@ let create (cfg : Config.t) =
 
 (* Lookup a line in a level; on hit, refresh LRU and return true. *)
 let lookup lvl line =
-  let set = line mod lvl.sets in
+  let set =
+    (* the set count is a power of two for every realistic geometry; mask
+       instead of paying an integer division on the hot lookup path *)
+    if lvl.set_mask >= 0 then line land lvl.set_mask else line mod lvl.sets
+  in
+  (* [set < sets] and [w < ways], so [base + w] is always within the
+     [sets * ways] arrays: unchecked indexing on the per-access loops *)
   let base = set * lvl.ways in
   let rec find w =
     if w >= lvl.ways then None
-    else if lvl.tags.(base + w) = line then Some w
+    else if Array.unsafe_get lvl.tags (base + w) = line then Some w
     else find (w + 1)
   in
   match find 0 with
   | Some w ->
     lvl.stamp <- lvl.stamp + 1;
-    lvl.lru.(base + w) <- lvl.stamp;
+    Array.unsafe_set lvl.lru (base + w) lvl.stamp;
     lvl.hits <- lvl.hits + 1;
     true
   | None ->
@@ -96,15 +104,22 @@ let lookup lvl line =
 
 (* Insert a line, evicting the LRU way. *)
 let insert lvl line =
-  let set = line mod lvl.sets in
+  let set =
+    (* the set count is a power of two for every realistic geometry; mask
+       instead of paying an integer division on the hot lookup path *)
+    if lvl.set_mask >= 0 then line land lvl.set_mask else line mod lvl.sets
+  in
   let base = set * lvl.ways in
   let victim = ref 0 in
   for w = 1 to lvl.ways - 1 do
-    if lvl.lru.(base + w) < lvl.lru.(base + !victim) then victim := w
+    if
+      Array.unsafe_get lvl.lru (base + w)
+      < Array.unsafe_get lvl.lru (base + !victim)
+    then victim := w
   done;
   lvl.stamp <- lvl.stamp + 1;
-  lvl.tags.(base + !victim) <- line;
-  lvl.lru.(base + !victim) <- lvl.stamp
+  Array.unsafe_set lvl.tags (base + !victim) line;
+  Array.unsafe_set lvl.lru (base + !victim) lvl.stamp
 
 (* Occupy a DRAM controller slot and return the transfer latency, without
    touching the demand access counter (prefetch fills share the same
@@ -155,17 +170,21 @@ let access t ~core ~addr ~now =
 (* Probe a level without touching its hit/miss counters; refreshes LRU on a
    hit exactly like a demand lookup would. *)
 let probe lvl line =
-  let set = line mod lvl.sets in
+  let set =
+    (* the set count is a power of two for every realistic geometry; mask
+       instead of paying an integer division on the hot lookup path *)
+    if lvl.set_mask >= 0 then line land lvl.set_mask else line mod lvl.sets
+  in
   let base = set * lvl.ways in
   let rec find w =
     if w >= lvl.ways then None
-    else if lvl.tags.(base + w) = line then Some w
+    else if Array.unsafe_get lvl.tags (base + w) = line then Some w
     else find (w + 1)
   in
   match find 0 with
   | Some w ->
     lvl.stamp <- lvl.stamp + 1;
-    lvl.lru.(base + w) <- lvl.stamp;
+    Array.unsafe_set lvl.lru (base + w) lvl.stamp;
     true
   | None -> false
 

@@ -48,7 +48,30 @@ type thread_state = {
   dep3 : int array;
   n_ops : int;
   comp : int array; (* completion cycle per op; [unset] until issued *)
+  wake : int array;
+      (* earliest cycle a previously-failed issue probe could succeed: a
+         failed [try_issue] is side-effect-free and its blocking condition
+         is monotone (dep completion times only get set, never lowered;
+         queue arrivals land strictly in the future), so the scan skips
+         re-probing an op until its recorded wake cycle. Enqueue ops are
+         the exception — a same-cycle dequeue can free a slot (and fault
+         drop rolls must re-roll per attempt) — so their probes record
+         wake = now and are always retried. *)
   issued : Bytes.t;
+  mutable scan_wake : int;
+      (* earliest cycle the issue scan must walk this thread again. Valid
+         only while the probe prefix (the first ops of the unissued list,
+         up to the per-pass step limit) is fixed: it is recomputed after
+         every walk and reset to 0 whenever the prefix can change — an op
+         issuing from this thread or dispatch appending into a short list.
+         A prefix containing an enqueue never caches (occupancy can change
+         any cycle and fault drop rolls are per-attempt). *)
+  mutable cl_until : int;
+      (* stall classification cache: [cl_reason] is valid for cycles
+         < [cl_until]. Horizons beyond now+1 are only recorded for
+         dependence stalls whose pending producers all have fixed
+         completion times; issuing or dispatching resets it. *)
+  mutable cl_reason : stall_reason;
   link : int array; (* singly-linked list over dispatched, unissued ops *)
   mutable unissued_head : int; (* -1 = none *)
   mutable unissued_tail : int;
@@ -180,18 +203,28 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
     Array.mapi
       (fun i (tt : Trace.thread_trace) ->
         let n = Trace.length tt in
+        (* Packed columns are cached on the trace: replaying a memoized
+           trace across many variant configs reuses one snapshot instead of
+           re-copying six columns per replay. The engine only ever reads
+           them. (Traces published to a cross-domain cache are packed
+           before publication — see Sim — so this is not a racing write.) *)
+        let pk = Trace.pack tt in
         {
           th_id = i;
           th_core = thread_core.(i);
-          kind = Vec.Int_vec.to_array tt.Trace.kind;
-          pa = Vec.Int_vec.to_array tt.Trace.pa;
-          pb = Vec.Int_vec.to_array tt.Trace.pb;
-          dep1 = Vec.Int_vec.to_array tt.Trace.dep1;
-          dep2 = Vec.Int_vec.to_array tt.Trace.dep2;
-          dep3 = Vec.Int_vec.to_array tt.Trace.dep3;
+          kind = pk.Trace.pk_kind;
+          pa = pk.Trace.pk_pa;
+          pb = pk.Trace.pk_pb;
+          dep1 = pk.Trace.pk_dep1;
+          dep2 = pk.Trace.pk_dep2;
+          dep3 = pk.Trace.pk_dep3;
           n_ops = n;
           comp = Array.make (max n 1) unset;
+          wake = Array.make (max n 1) 0;
           issued = Bytes.make (max n 1) '\000';
+          scan_wake = 0;
+          cl_until = 0;
+          cl_reason = R_other;
           link = Array.make (max n 1) (-1);
           unissued_head = -1;
           unissued_tail = -1;
@@ -324,6 +357,30 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
   let total_dispatched = ref 0 in
   let now = ref 0 in
   let progress = ref false in
+  (* Wake-event filter. The fast-forward loop discards calendar entries
+     with t <= now, and a cycle that makes progress advances [now] by one
+     before the calendar is consulted again — so an event at t <= now+1
+     pushed from a path that also sets [progress] this cycle can never be
+     the entry that wakes the simulator. Skipping those pushes keeps the
+     calendar heap small on issue-heavy workloads. Only used on paths that
+     unconditionally set [progress]; paths that may not make progress
+     (dropped enqueues, fault stalls) push unconditionally. *)
+  let schedule_wake t = if t > !now + 1 then Heap.push events t in
+  (* Per-core ROB share, recomputed only when some thread finishes
+     ([done_] flips only in [retire]); value is identical to the fold the
+     old [window_room] performed on every call. *)
+  let core_share = Array.make (max cfg.n_cores 1) cfg.rob_size in
+  let shares_dirty = ref true in
+  let recompute_shares () =
+    Array.iteri
+      (fun ci ct ->
+        let active =
+          Array.fold_left (fun acc t -> if t.done_ then acc else acc + 1) 0 ct
+        in
+        core_share.(ci) <- max 16 (cfg.rob_size / max 1 active))
+      cores;
+    shares_dirty := false
+  in
   (* Threads still running. The per-cycle sweeps (issued_this_cycle reset,
      retire, stall accounting) iterate this set instead of all threads, so
      long-finished threads cost nothing; it is pruned at cycle end whenever
@@ -407,37 +464,42 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
     c "engine.queue_ops" (fun () -> !queue_ops);
     c "engine.dispatched" (fun () -> !total_dispatched));
 
-  let dep_met th d = d = Trace.no_dep || th.comp.(d) <= !now in
-  let deps_met th i = dep_met th th.dep1.(i) && dep_met th th.dep2.(i) && dep_met th th.dep3.(i) in
+  (* Hot-path accesses below use unchecked indexing: every op index is
+     drawn from the unissued list or the retire/dispatch pointers (all
+     < [n_ops], the allocation size of every per-op column), and every
+     dependence index comes from the tracer's producer columns, which only
+     ever name earlier ops of the same thread. *)
+  let dep_met th d =
+    d = Trace.no_dep || Array.unsafe_get th.comp d <= !now
+  in
+  let deps_met th i =
+    dep_met th (Array.unsafe_get th.dep1 i)
+    && dep_met th (Array.unsafe_get th.dep2 i)
+    && dep_met th (Array.unsafe_get th.dep3 i)
+  in
 
   let push_unissued th i =
-    th.link.(i) <- -1;
+    Array.unsafe_set th.link i (-1);
     if th.unissued_head = -1 then begin
       th.unissued_head <- i;
       th.unissued_tail <- i
     end
     else begin
-      th.link.(th.unissued_tail) <- i;
+      Array.unsafe_set th.link th.unissued_tail i;
       th.unissued_tail <- i
     end
   in
 
   (* Window occupancy = dispatched but not retired. *)
-  let window_room th =
-    let active =
-      Array.fold_left (fun acc t -> if t.done_ then acc else acc + 1) 0
-        cores.(th.th_core)
-    in
-    let share = max 16 (cfg.rob_size / max 1 active) in
-    th.dispatch_ptr - th.retire_ptr < share
-  in
+  let window_room th = th.dispatch_ptr - th.retire_ptr < core_share.(th.th_core) in
 
   let retire th =
     let before = th.retire_ptr in
     while
       th.retire_ptr < th.dispatch_ptr
-      && th.comp.(th.retire_ptr) <> unset
-      && th.comp.(th.retire_ptr) <= !now
+      &&
+      let c = Array.unsafe_get th.comp th.retire_ptr in
+      c <> unset && c <= !now
     do
       th.retire_ptr <- th.retire_ptr + 1;
       progress := true
@@ -453,6 +515,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
     if th.retire_ptr >= th.n_ops && not th.done_ then begin
       th.done_ <- true;
       live_dirty := true;
+      shares_dirty := true;
       (match telemetry with
       | Some tel -> Telemetry.end_thread_state tel ~thread:th.th_id ~cycle:!now
       | None -> ());
@@ -476,6 +539,9 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
         let i = th.dispatch_ptr in
         th.dispatch_ptr <- i + 1;
         push_unissued th i;
+        (* a fresh op may have entered the probe prefix *)
+        th.scan_wake <- 0;
+        th.cl_until <- 0;
         decr budget;
         progress := true;
         if th.kind.(i) = Trace.op_branch then begin
@@ -497,12 +563,30 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
     end
   in
 
-  (* Issue one op if it is ready; returns true if issued. *)
+  (* Earliest cycle this op's unmet dependencies could all be satisfied: a
+     set completion time is exact; an unset one (producer not yet issued)
+     contributes only the conservative [now + 1]. *)
+  let dep_wake th i =
+    let one d acc =
+      if d = Trace.no_dep then acc
+      else begin
+        let c = Array.unsafe_get th.comp d in
+        if c <= !now then acc
+        else if c = unset then max acc (!now + 1)
+        else max acc c
+      end
+    in
+    one (Array.unsafe_get th.dep1 i)
+      (one (Array.unsafe_get th.dep2 i)
+         (one (Array.unsafe_get th.dep3 i) (!now + 1)))
+  in
+  (* Issue one op if it is ready; returns -1 if issued, else the earliest
+     cycle a retry could succeed (see [wake] on [thread_state]). *)
   let try_issue th i ~mem_budget =
-    let k = th.kind.(i) in
+    let k = Array.unsafe_get th.kind i in
     let is_mem = k = Trace.op_load || k = Trace.op_store || k = Trace.op_atomic || k = Trace.op_prefetch in
-    if is_mem && !mem_budget <= 0 then false
-    else if not (deps_met th i) then false
+    if is_mem && !mem_budget <= 0 then !now + 1
+    else if not (deps_met th i) then dep_wake th i
     else begin
       let ok, latency =
         if k = Trace.op_alu then (true, 1)
@@ -538,7 +622,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
         end
         else if k = Trace.op_enq then begin
           let q = queues.(th.pa.(i)) in
-          if q.occupancy >= q.qs_capacity then (false, 0)
+          if q.occupancy >= q.qs_capacity then (false, !now)
           else begin
             match faults with
             | Some f when Faults.drop_enq f ~queue:th.pa.(i) ->
@@ -547,7 +631,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
                  so a long streak of drops reads as livelock rather than an
                  eventless deadlock *)
               Heap.push events (!now + 1);
-              (false, 0)
+              (false, !now)
             | _ ->
               q.occupancy <- q.occupancy + 1;
               Vec.Int_vec.push q.arrived_at (!now + 1);
@@ -577,7 +661,13 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
             th.deq_ops.(th.pa.(i)) <- th.deq_ops.(th.pa.(i)) + 1;
             (true, 1)
           end
-          else (false, 0)
+          else
+            (* starved, or the head arrival is still in flight: its arrival
+               time bounds the earliest useful retry *)
+            ( false,
+              if q.deq_issued < Vec.Int_vec.length q.arrived_at then
+                Vec.Int_vec.get q.arrived_at q.deq_issued
+              else !now + 1 )
         end
         else if k = Trace.op_barrier then begin
           let key = (th.pa.(i), th.pb.(i)) in
@@ -594,7 +684,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
             List.iter
               (fun (th', i') ->
                 th'.comp.(i') <- release;
-                Heap.push events release)
+                schedule_wake release)
               arrived;
             (* comp already set; mark latency 0 sentinel below *)
             (true, -1)
@@ -606,25 +696,54 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
         end
         else (true, 1)
       in
-      if not ok then false
+      if not ok then latency (* carries the retry wake cycle on failure *)
       else begin
         if is_mem then decr mem_budget;
-        Bytes.set th.issued i '\001';
+        Bytes.unsafe_set th.issued i '\001';
+        (* the unissued prefix and the stall picture both just changed *)
+        th.scan_wake <- 0;
+        th.cl_until <- 0;
         (match latency with
         | -1 | -2 -> () (* barrier: comp handled above or pending *)
         | l ->
-          th.comp.(i) <- !now + l;
-          Heap.push events (!now + l));
+          Array.unsafe_set th.comp i (!now + l);
+          schedule_wake (!now + l));
         if k = Trace.op_branch && th.blocked_branch = i then
-          Heap.push events (th.comp.(i) + cfg.mispredict_penalty);
+          schedule_wake (th.comp.(i) + cfg.mispredict_penalty);
         th.issued_this_cycle <- th.issued_this_cycle + 1;
         progress := true;
-        true
+        -1
       end
     end
   in
 
-  let issue_core core_threads =
+  (* Per-core scan counters, reset by fill each cycle instead of being
+     reallocated: issue_core runs every simulated cycle per core. *)
+  let scan_bufs =
+    Array.map (fun ct -> Array.make (max 1 (Array.length ct)) 0) cores
+  in
+  (* After a walk, record the earliest cycle the next walk could behave
+     differently: the minimum recorded wake over the ops the next walk
+     would probe (the first ops of the unissued list, up to the per-pass
+     step limit). An op never yet probed (wake still 0) keeps the thread
+     hot, and an enqueue disables the cache outright — a same-cycle
+     dequeue can free a slot and fault drop rolls are per-attempt. An
+     empty prefix sleeps until dispatch appends (which resets the field),
+     and an issue from this thread also resets it, so the prefix is fixed
+     for the whole validity window. *)
+  let refresh_scan_wake th =
+    let rec go node steps acc =
+      if node < 0 || steps >= 4 then acc
+      else if Bytes.unsafe_get th.issued node = '\001' then
+        go (Array.unsafe_get th.link node) steps acc
+      else if Array.unsafe_get th.kind node = Trace.op_enq then 0
+      else
+        go (Array.unsafe_get th.link node) (steps + 1)
+          (min acc (Array.unsafe_get th.wake node))
+    in
+    th.scan_wake <- go th.unissued_head 0 max_int
+  in
+  let issue_core ci core_threads =
     let nth = Array.length core_threads in
     if nth > 0 then begin
       let issue_budget = ref cfg.issue_width in
@@ -633,16 +752,19 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
       (* Interleave threads round-robin, scanning each thread's oldest
          unissued ops; stop when the issue budget is spent. *)
       let made_progress = ref true in
-      let scanned = Array.make nth 0 in
+      let scanned = scan_bufs.(ci) in
+      Array.fill scanned 0 nth 0;
       while !made_progress && !issue_budget > 0 do
         made_progress := false;
         for off = 0 to nth - 1 do
-          let th = core_threads.((start + off) mod nth) in
+          let ti = (start + off) mod nth in
+          let th = core_threads.(ti) in
           if
             (not th.done_)
             && (not (inactive th))
             && !issue_budget > 0
-            && scanned.((start + off) mod nth) < cfg.sched_scan
+            && scanned.(ti) < cfg.sched_scan
+            && th.scan_wake <= !now
           then begin
             (* walk the unissued list, unlinking issued entries lazily *)
             let prev = ref (-1) in
@@ -651,8 +773,8 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
             let continue = ref true in
             while !continue && !node >= 0 && !steps < 4 && !issue_budget > 0 do
               let i = !node in
-              let next = th.link.(i) in
-              if Bytes.get th.issued i = '\001' then begin
+              let next = Array.unsafe_get th.link i in
+              if Bytes.unsafe_get th.issued i = '\001' then begin
                 (* already issued: unlink *)
                 if !prev < 0 then th.unissued_head <- next else th.link.(!prev) <- next;
                 if th.unissued_tail = i then th.unissued_tail <- !prev;
@@ -660,22 +782,42 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
               end
               else begin
                 incr steps;
-                scanned.((start + off) mod nth) <- scanned.((start + off) mod nth) + 1;
-                if try_issue th i ~mem_budget then begin
-                  decr issue_budget;
-                  made_progress := true;
-                  (* unlink issued op *)
-                  if !prev < 0 then th.unissued_head <- next else th.link.(!prev) <- next;
-                  if th.unissued_tail = i then th.unissued_tail <- !prev;
-                  node := next
-                end
-                else begin
+                scanned.(ti) <- scanned.(ti) + 1;
+                if
+                  Array.unsafe_get th.wake i > !now
+                  || (Array.unsafe_get th.kind i = Trace.op_enq
+                     &&
+                     let q = queues.(Array.unsafe_get th.pa i) in
+                     q.occupancy >= q.qs_capacity)
+                then begin
+                  (* cached or recheckable failure: [try_issue] would fail
+                     with no side effects (a full-queue enqueue draws no
+                     fault roll), so skip it — but charge the scan budgets
+                     exactly as a probed failure would *)
                   prev := i;
                   node := next
                 end
+                else begin
+                  let w = try_issue th i ~mem_budget in
+                  if w < 0 then begin
+                    decr issue_budget;
+                    made_progress := true;
+                    (* unlink issued op *)
+                    if !prev < 0 then th.unissued_head <- next
+                    else th.link.(!prev) <- next;
+                    if th.unissued_tail = i then th.unissued_tail <- !prev;
+                    node := next
+                  end
+                  else begin
+                    Array.unsafe_set th.wake i w;
+                    prev := i;
+                    node := next
+                  end
+                end
               end
             done;
-            ignore !continue
+            ignore !continue;
+            refresh_scan_wake th
           end
         done
       done
@@ -704,7 +846,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
         then begin
           out.occupancy <- out.occupancy + 1;
           Vec.Int_vec.push out.arrived_at (!now + 1);
-          Heap.push events (!now + 1);
+          schedule_wake (!now + 1);
           ra.next_deliver <- i + 1;
           ra.outstanding <- ra.outstanding - 1;
           progress := true
@@ -745,7 +887,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           end
         in
         ra.fetch_done.(i) <- !now + lat;
-        Heap.push events (!now + lat);
+        schedule_wake (!now + lat);
         ra.outstanding <- ra.outstanding + 1;
         ra.next_start <- i + 1;
         progress := true
@@ -760,6 +902,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
   let classify th : stall_reason =
     if th.issued_this_cycle > 0 then R_issue
     else if th.blocked_branch >= 0 then R_other
+    else if th.cl_until > !now then th.cl_reason
     else begin
       (* find first unissued op *)
       let rec first node =
@@ -768,7 +911,13 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
         else first th.link.(node)
       in
       let i = first th.unissued_head in
-      if i < 0 then R_other (* window empty: frontend *)
+      if i < 0 then begin
+        (* window empty: frontend. Nothing can issue, so the verdict holds
+           until dispatch appends an op (which resets the cache). *)
+        th.cl_reason <- R_other;
+        th.cl_until <- max_int;
+        R_other
+      end
       else begin
         let k = th.kind.(i) in
         (* serving cache level of the first pending load/atomic operand,
@@ -784,32 +933,54 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           in
           lvl th.dep1.(i) (lvl th.dep2.(i) (lvl th.dep3.(i) 0))
         in
-        if k = Trace.op_enq then
-          let q = queues.(th.pa.(i)) in
-          if q.occupancy >= q.qs_capacity then R_queue_full th.pa.(i)
-          else R_backend (dep_level ())
-        else if k = Trace.op_deq then
-          let q = queues.(th.pa.(i)) in
-          if
-            q.deq_issued >= Vec.Int_vec.length q.arrived_at
-            || Vec.Int_vec.get q.arrived_at q.deq_issued > !now
-          then R_queue_empty th.pa.(i)
-          else R_backend (dep_level ())
-        else if k = Trace.op_barrier then R_barrier
-        else begin
-          (* blocked on operands: attribute by the producer's kind *)
-          let dep_kind d acc =
-            if d <> Trace.no_dep && th.comp.(d) > !now then
-              let dk = th.kind.(d) in
-              if dk = Trace.op_load || dk = Trace.op_atomic then
-                R_backend (Char.code (Bytes.get th.svc d))
-              else if dk = Trace.op_deq then R_queue_empty th.pa.(d)
-              else acc
-            else acc
+        (* A plain operand stall cannot change verdict before the earliest
+           pending producer completes; queue and barrier verdicts can flip
+           any cycle, so they only cache for the current one. *)
+        let dep_horizon () =
+          let one d acc =
+            if d = Trace.no_dep then acc
+            else
+              let c = th.comp.(d) in
+              if c <= !now then acc
+              else if c = unset then min acc (!now + 1)
+              else min acc c
           in
-          dep_kind th.dep1.(i)
-            (dep_kind th.dep2.(i) (dep_kind th.dep3.(i) (R_backend 0)))
-        end
+          let h = one th.dep1.(i) (one th.dep2.(i) (one th.dep3.(i) max_int)) in
+          if h = max_int then !now + 1 else h
+        in
+        let r, horizon =
+          if k = Trace.op_enq then
+            let q = queues.(th.pa.(i)) in
+            if q.occupancy >= q.qs_capacity then
+              (R_queue_full th.pa.(i), !now + 1)
+            else (R_backend (dep_level ()), !now + 1)
+          else if k = Trace.op_deq then
+            let q = queues.(th.pa.(i)) in
+            if
+              q.deq_issued >= Vec.Int_vec.length q.arrived_at
+              || Vec.Int_vec.get q.arrived_at q.deq_issued > !now
+            then (R_queue_empty th.pa.(i), !now + 1)
+            else (R_backend (dep_level ()), !now + 1)
+          else if k = Trace.op_barrier then (R_barrier, !now + 1)
+          else begin
+            (* blocked on operands: attribute by the producer's kind *)
+            let dep_kind d acc =
+              if d <> Trace.no_dep && th.comp.(d) > !now then
+                let dk = th.kind.(d) in
+                if dk = Trace.op_load || dk = Trace.op_atomic then
+                  R_backend (Char.code (Bytes.get th.svc d))
+                else if dk = Trace.op_deq then R_queue_empty th.pa.(d)
+                else acc
+              else acc
+            in
+            ( dep_kind th.dep1.(i)
+                (dep_kind th.dep2.(i) (dep_kind th.dep3.(i) (R_backend 0))),
+              dep_horizon () )
+          end
+        in
+        th.cl_reason <- r;
+        th.cl_until <- horizon;
+        r
       end
     end
   in
@@ -1066,8 +1237,12 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           stalled_now.(th.th_id) <- rel >= 0;
           if rel >= 0 then Heap.push events rel)
         !live);
-    Array.iter (fun th -> th.issued_this_cycle <- 0) !live;
-    Array.iter (fun th -> if (not th.done_) && not (inactive th) then retire th) !live;
+    Array.iter
+      (fun th ->
+        th.issued_this_cycle <- 0;
+        if (not th.done_) && not (inactive th) then retire th)
+      !live;
+    if !shares_dirty then recompute_shares ();
     Array.iter
       (fun core_threads ->
         let nth = Array.length core_threads in
@@ -1077,9 +1252,16 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           (* round-robin the shared front-end bandwidth, giving each live
              thread a fair share plus any slack left by stalled threads *)
           let share = max 1 (cfg.dispatch_width / max 1 nth) in
+          (* a thread with no pending branch redirect and either a drained
+             program or a full window slice can never consume front-end
+             bandwidth this cycle: skip the call *)
+          let can_dispatch th =
+            th.blocked_branch >= 0
+            || (th.dispatch_ptr < th.n_ops && window_room th)
+          in
           for off = 0 to nth - 1 do
             let th = core_threads.((start + off) mod nth) in
-            if (not th.done_) && not (inactive th) then begin
+            if (not th.done_) && (not (inactive th)) && can_dispatch th then begin
               let slice = ref (min share !budget) in
               let before = !slice in
               dispatch th slice;
@@ -1091,7 +1273,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           let off = ref 0 in
           while !budget > 0 && !off < nth do
             let th = core_threads.((start + !off) mod nth) in
-            if (not th.done_) && not (inactive th) then begin
+            if (not th.done_) && (not (inactive th)) && can_dispatch th then begin
               let slice = ref !budget in
               let before = !slice in
               dispatch th slice;
@@ -1106,7 +1288,7 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
           total_dispatched := !total_dispatched + used
         end)
       cores;
-    Array.iter issue_core cores;
+    Array.iteri issue_core cores;
     Array.iter advance_ra ras;
     account 1;
     (match telemetry with

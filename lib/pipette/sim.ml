@@ -87,10 +87,101 @@ let ra_cores (p : Types.pipeline) (thread_core : int array) =
   in
   Array.map (fun (r : Types.ra_config) -> core_for_out r.Types.ra_out 0) ras
 
-let run ?(cfg = Config.default) ?thread_core ?(inputs = []) ?telemetry ?faults
-    ?watchdog ?cycle_budget (p : Types.pipeline) : run =
+(* --- compilation and trace memoization ------------------------------- *)
+
+(* A sweep simulates the same (pipeline, input) pair under many timing
+   configurations. The pipeline text and the functional execution are
+   config-independent, so both are memoized: flat µop programs keyed by the
+   pipeline digest, functional results keyed by (pipeline, inputs, op
+   budget). Caches are FIFO-bounded and mutex-guarded; the mutex also
+   provides the happens-before edge that publishes a result built on one
+   domain to pool workers on another. Traces are column-packed before
+   publication so concurrent engine replays only ever read them. Set
+   PHLOEM_TRACE_CACHE=0 to disable (every run then recompiles/re-executes,
+   as the tree path always did). *)
+
+let cache_enabled =
+  match Sys.getenv_opt "PHLOEM_TRACE_CACHE" with
+  | Some ("0" | "false" | "off") -> false
+  | _ -> true
+
+let cache_cap = 64
+let cache_lock = Mutex.create ()
+
+let program_cache : (string, Phloem_ir.Flat.program array) Hashtbl.t =
+  Hashtbl.create 16
+
+let program_order : string Queue.t = Queue.create ()
+let trace_cache : (string, Interp.result) Hashtbl.t = Hashtbl.create 16
+let trace_order : string Queue.t = Queue.create ()
+let trace_hits = Atomic.make 0
+let trace_misses = Atomic.make 0
+
+let with_lock f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
+
+let cache_find tbl key = with_lock (fun () -> Hashtbl.find_opt tbl key)
+
+let cache_add tbl order key v =
+  with_lock (fun () ->
+      if not (Hashtbl.mem tbl key) then begin
+        if Queue.length order >= cache_cap then
+          Hashtbl.remove tbl (Queue.pop order);
+        Queue.push key order;
+        Hashtbl.add tbl key v
+      end)
+
+let clear_caches () =
+  with_lock (fun () ->
+      Hashtbl.reset program_cache;
+      Queue.clear program_order;
+      Hashtbl.reset trace_cache;
+      Queue.clear trace_order);
+  Atomic.set trace_hits 0;
+  Atomic.set trace_misses 0
+
+let cache_stats () = (Atomic.get trace_hits, Atomic.get trace_misses)
+let pipeline_digest (p : Types.pipeline) = Digest.string (Marshal.to_string p [])
+
+let prepare (p : Types.pipeline) : Phloem_ir.Flat.program array =
   Validate.check p;
-  let functional = Interp.run ~inputs p in
+  if not cache_enabled then Phloem_ir.Flat.compile p
+  else
+    let key = pipeline_digest p in
+    match cache_find program_cache key with
+    | Some progs -> progs
+    | None ->
+      let progs = Phloem_ir.Flat.compile p in
+      cache_add program_cache program_order key progs;
+      progs
+
+let functional ?(inputs = []) (p : Types.pipeline) : Interp.result =
+  let programs = prepare p in
+  if not cache_enabled then Phloem_ir.Flat.run ~inputs ~programs p
+  else
+    (* The op budget changes which executions complete, so it is part of
+       the key; failed runs raise before the insert and are never cached. *)
+    let key =
+      pipeline_digest p
+      ^ Digest.string (Marshal.to_string inputs [])
+      ^ string_of_int (Interp.max_ops ())
+    in
+    match cache_find trace_cache key with
+    | Some r ->
+      Atomic.incr trace_hits;
+      r
+    | None ->
+      Atomic.incr trace_misses;
+      let r = Phloem_ir.Flat.run ~inputs ~programs p in
+      Array.iter
+        (fun tt -> ignore (Trace.pack tt))
+        r.Interp.r_trace.Trace.threads;
+      cache_add trace_cache trace_order key r;
+      r
+
+let simulate ?(cfg = Config.default) ?thread_core ?telemetry ?faults ?watchdog
+    ?cycle_budget (p : Types.pipeline) (fr : Interp.result) : run =
   let tc =
     match thread_core with
     | Some tc -> tc
@@ -98,9 +189,23 @@ let run ?(cfg = Config.default) ?thread_core ?(inputs = []) ?telemetry ?faults
   in
   let timing =
     Engine.run ~cfg ~thread_core:tc ~ra_core:(ra_cores p tc) ?telemetry ?faults
-      ?watchdog ?cycle_budget p functional.Interp.r_trace
+      ?watchdog ?cycle_budget p fr.Interp.r_trace
   in
-  { sr_functional = functional; sr_timing = timing; sr_energy = Energy.of_result timing }
+  { sr_functional = fr; sr_timing = timing; sr_energy = Energy.of_result timing }
+
+let run ?cfg ?thread_core ?(inputs = []) ?telemetry ?faults ?watchdog
+    ?cycle_budget (p : Types.pipeline) : run =
+  let fr = functional ~inputs p in
+  simulate ?cfg ?thread_core ?telemetry ?faults ?watchdog ?cycle_budget p fr
+
+(* Reference path: the tree-walking interpreter, no caches. Exists so
+   differential tests (and doubting users) can confirm the compiled core
+   is observationally identical. *)
+let run_tree ?cfg ?thread_core ?(inputs = []) ?telemetry ?faults ?watchdog
+    ?cycle_budget (p : Types.pipeline) : run =
+  Validate.check p;
+  let fr = Interp.run ~inputs p in
+  simulate ?cfg ?thread_core ?telemetry ?faults ?watchdog ?cycle_budget p fr
 
 let stage_names (p : Types.pipeline) =
   Array.of_list (List.map (fun (s : Types.stage) -> s.Types.s_name) p.Types.p_stages)

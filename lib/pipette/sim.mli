@@ -17,6 +17,37 @@ val ra_cores : Phloem_ir.Types.pipeline -> int array -> int array
 (** Reference-accelerator placement: each RA sits by the core of the stage
     that consumes its output (chains follow the final consumer). *)
 
+val prepare : Phloem_ir.Types.pipeline -> Phloem_ir.Flat.program array
+(** Validate [p] and lower every stage to its flat µop program. Memoized by
+    pipeline digest (mutex-guarded, FIFO-bounded), so a sweep that simulates
+    one pipeline under many configs compiles it once. Set
+    [PHLOEM_TRACE_CACHE=0] to disable all memoization.
+    @raise Phloem_ir.Validate.Invalid on malformed pipelines *)
+
+val functional :
+  ?inputs:(string * Phloem_ir.Types.value array) list ->
+  Phloem_ir.Types.pipeline ->
+  Phloem_ir.Interp.result
+(** Execute the functional (Kahn-network) semantics on the compiled µop
+    core. Memoized by (pipeline, inputs, op budget); cached traces are
+    column-packed before publication so concurrent timing replays on pool
+    domains share one read-only snapshot. Failed executions raise and are
+    never cached. *)
+
+val simulate :
+  ?cfg:Config.t ->
+  ?thread_core:int array ->
+  ?telemetry:Telemetry.t ->
+  ?faults:Faults.t ->
+  ?watchdog:int ->
+  ?cycle_budget:int ->
+  Phloem_ir.Types.pipeline ->
+  Phloem_ir.Interp.result ->
+  run
+(** Replay a functional result's µop traces on the timing model. This is
+    the only per-config work in a sweep: callers obtain the functional
+    result once via {!functional} and replay it under each config. *)
+
 val run :
   ?cfg:Config.t ->
   ?thread_core:int array ->
@@ -40,6 +71,27 @@ val run :
     deadlocks or livelocks, or the cycle budget runs out — the exception
     carries a structured report (failure kind, per-agent blocked-on state,
     cyclic wait chain, queue occupancy snapshot, diagnosis) *)
+
+val run_tree :
+  ?cfg:Config.t ->
+  ?thread_core:int array ->
+  ?inputs:(string * Phloem_ir.Types.value array) list ->
+  ?telemetry:Telemetry.t ->
+  ?faults:Faults.t ->
+  ?watchdog:int ->
+  ?cycle_budget:int ->
+  Phloem_ir.Types.pipeline ->
+  run
+(** Reference path: identical to {!run} but executes the functional
+    semantics on the tree-walking interpreter, bypassing the compiled core
+    and every cache. Differential tests assert [run] and [run_tree] agree
+    byte-for-byte on results, timing, attribution, and failures. *)
+
+val clear_caches : unit -> unit
+(** Drop all memoized programs and traces and reset the hit counters. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of the functional-trace cache since the last clear. *)
 
 val stage_names : Phloem_ir.Types.pipeline -> string array
 (** Stage names in thread order, for labeling {!analyze} reports. *)

@@ -57,7 +57,16 @@ let worker_loop pool =
   next ()
 
 let create ?jobs () =
-  let n_jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  (* Clamp to the machine's recommended domain count: every task here is
+     CPU-bound, so worker domains beyond that only add GC-barrier and
+     scheduling overhead (on a single-CPU container, --jobs 4 would
+     timeshare one core and run *slower* than serial). Results are
+     submission-ordered and deterministic either way, so the clamp is
+     observable only as wall-clock. *)
+  let cap = max 1 (default_jobs ()) in
+  let n_jobs =
+    max 1 (min cap (match jobs with Some j -> j | None -> cap))
+  in
   let pool =
     {
       n_jobs;

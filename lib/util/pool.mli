@@ -22,8 +22,10 @@ val default_jobs : unit -> int
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] makes a pool of [jobs] domains total: [jobs - 1]
     worker domains are spawned, and the submitting domain participates in
-    every batch. [jobs] defaults to [default_jobs ()] and is clamped to at
-    least 1. *)
+    every batch. [jobs] defaults to [default_jobs ()] and is clamped to
+    the range [1 .. default_jobs ()] — pool work is CPU-bound, so domains
+    beyond the recommended count only add GC-barrier and scheduling
+    overhead. Use {!jobs} to observe the effective size. *)
 
 val jobs : t -> int
 (** Total domain count (workers + the submitting caller). *)
