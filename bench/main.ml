@@ -265,17 +265,16 @@ let wall_benchmark ~jobs ~scale ?only_inputs ~pgo ~file ~json_file () =
            String.equal serial_json (Json.to_string (E.json_of_collection all)))
          (List.tl serial_runs @ List.tl par_runs)
   in
-  let speedup = if par_s > 0.0 then serial_s /. par_s else 0.0 in
+  (* All derived rates and ratios go through the Phases guards: a smoke
+     sweep small enough to finish inside the clock resolution must report
+     0.0, never inf/NaN (which would poison the JSON report and every
+     later --compare against it). *)
+  let speedup = P.ratio serial_s par_s in
   Printf.printf "  speedup  : %8.2fx   (deterministic: %b)\n%!" speedup deterministic;
   let simulated_ops = sp.P.ph_ops in
-  let ops_per_sec =
-    if min_simulate_s > 0.0 then float_of_int simulated_ops /. min_simulate_s
-    else 0.0
-  in
-  let pre_ops_per_sec = float_of_int simulated_ops /. pre_refactor_serial_s in
-  let engine_speedup =
-    if pre_ops_per_sec > 0.0 then ops_per_sec /. pre_ops_per_sec else 0.0
-  in
+  let ops_per_sec = P.per_second simulated_ops min_simulate_s in
+  let pre_ops_per_sec = P.per_second simulated_ops pre_refactor_serial_s in
+  let engine_speedup = P.ratio ops_per_sec pre_ops_per_sec in
   Printf.printf
     "  engine   : %8.2f Mops/s single-thread (%.1fx the pre-refactor sweep's %.2f Mops/s)\n%!"
     (ops_per_sec /. 1e6) engine_speedup (pre_ops_per_sec /. 1e6);

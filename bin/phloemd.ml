@@ -1,0 +1,147 @@
+(* phloemd: persistent simulation-as-a-service daemon. Accepts
+   compile+simulate jobs as line-delimited JSON over a Unix-domain (and
+   optionally TCP) socket, executes them on a pool of OCaml 5 domains, and
+   serves repeated requests from a content-addressed result cache —
+   determinism makes every result a pure function of its request, so a
+   repeat is answered in O(lookup) with byte-identical JSON. See README
+   "Running phloemd" for the protocol and DESIGN.md "Simulation as a
+   service" for the cache-key derivation. *)
+
+open Cmdliner
+module Serve = Phloem_serve
+
+let serve socket tcp jobs queue_limit batch cache_entries sim_cache max_request
+    stats_out log_level =
+  (match Phloem_util.Log.level_of_string log_level with
+  | Some l -> Phloem_util.Log.set_level l
+  | None ->
+    Printf.eprintf "phloemd: unknown log level %s\n" log_level;
+    exit 2);
+  (* A daemon serving many distinct pipelines needs more memo room than the
+     sweep default; PHLOEM_TRACE_CACHE still sets the initial on/off. *)
+  Pipette.Sim.set_cache_capacity sim_cache;
+  let opts =
+    {
+      Serve.Server.so_unix = Some socket;
+      so_tcp = tcp;
+      so_jobs = jobs;
+      so_queue_limit = queue_limit;
+      so_batch = batch;
+      so_cache_entries = cache_entries;
+      so_max_request = max_request;
+    }
+  in
+  let server =
+    try Serve.Server.create opts
+    with Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "phloemd: cannot listen (%s %s: %s)\n" fn arg
+        (Unix.error_message e);
+      exit 1
+  in
+  let shutdown _ = Serve.Server.stop server in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Printf.printf "phloemd: listening on %s%s (jobs %d, queue limit %d, cache %d \
+                 entries)\n%!"
+    socket
+    (match tcp with Some p -> Printf.sprintf " and 127.0.0.1:%d" p | None -> "")
+    jobs queue_limit cache_entries;
+  Serve.Server.run server;
+  (match stats_out with
+  | Some file ->
+    Pipette.Telemetry.Json.to_file file (Serve.Server.stats_json server);
+    Printf.printf "phloemd: stats written to %s\n%!" file
+  | None -> ());
+  Printf.printf "phloemd: clean shutdown\n%!";
+  0
+
+let socket_arg =
+  Arg.(
+    value & opt string "phloemd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen on")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"also listen on 127.0.0.1:$(docv)")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Phloem_util.Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"OCaml 5 domains executing jobs (default: recommended count)")
+
+let queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-limit" ] ~docv:"N"
+        ~doc:
+          "bound on queued jobs across all clients; requests past it get a \
+           structured shed-load response (0 sheds everything)")
+
+let batch_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"max jobs dispatched to the pool per batch (round-robin across \
+              clients)")
+
+let cache_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-entries" ] ~docv:"N"
+        ~doc:"content-addressed result-cache entry bound (FIFO eviction)")
+
+let sim_cache_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "sim-cache" ] ~docv:"N"
+        ~doc:
+          "capacity of the simulator's compiled-program and functional-trace \
+           memo caches (Sim.set_cache_capacity)")
+
+let max_request_arg =
+  Arg.(
+    value
+    & opt int (1 lsl 20)
+    & info [ "max-request" ] ~docv:"BYTES" ~doc:"request line size bound")
+
+let stats_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-out" ] ~docv:"FILE"
+        ~doc:"write the final stats JSON to $(docv) on shutdown")
+
+let log_arg =
+  Arg.(
+    value & opt string "info"
+    & info [ "log-level" ] ~docv:"LEVEL" ~doc:"debug | info | warn | error")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "phloemd" ~doc:"persistent Phloem simulation server"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Line-delimited JSON protocol: one request object per line, one \
+              response object per line. Request kinds: simulate, stats, ping, \
+              shutdown. Repeated simulate requests are served from a \
+              content-addressed cache with byte-identical results. When the \
+              bounded job queue is full, requests receive a \
+              status=\"shed\" response instead of queueing unboundedly.";
+           `S Manpage.s_exit_status;
+           `P
+             "0 after a clean shutdown (SIGTERM, SIGINT, or a shutdown \
+              request), draining already-accepted jobs first; 1 when the \
+              socket cannot be bound; 2 on usage errors.";
+         ])
+    Term.(
+      const serve $ socket_arg $ tcp_arg $ jobs_arg $ queue_arg $ batch_arg
+      $ cache_arg $ sim_cache_arg $ max_request_arg $ stats_arg $ log_arg)
+
+let () = exit (Cmd.eval' cmd)

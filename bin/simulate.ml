@@ -6,78 +6,133 @@
 
 open Cmdliner
 open Phloem_workloads
-
-let graph_names =
-  [ "internet"; "USA-road-d-NY"; "coAuthorsDBLP"; "hugetrace-00000"; "Freescale1";
-    "as-Skitter"; "USA-road-d-USA" ]
-
-let matrix_names =
-  List.map (fun i -> i.Phloem_sparse.Inputs.name) (Phloem_sparse.Inputs.all ())
-
-let bind_bench bench input scale =
-  match bench with
-  | "bfs" | "cc" | "prd" | "radii" ->
-    if not (List.mem input graph_names) then
-      failwith (Printf.sprintf "unknown graph %s" input);
-    let g = Lazy.force (Phloem_graph.Inputs.find ~scale input).Phloem_graph.Inputs.graph in
-    (match bench with
-    | "bfs" -> Bfs.bind g
-    | "cc" -> Cc.bind g
-    | "prd" -> Prd.bind g
-    | _ -> Radii.bind g)
-  | "spmm" ->
-    if not (List.mem input matrix_names) then
-      failwith (Printf.sprintf "unknown matrix %s" input);
-    let m = Lazy.force (Phloem_sparse.Inputs.find ~scale:(0.12 *. scale) input).Phloem_sparse.Inputs.matrix in
-    Spmm.bind m (Phloem_sparse.Csr_matrix.transpose m)
-  | "spmv" | "residual" | "mtmul" | "sddmm" ->
-    if not (List.mem input matrix_names) then
-      failwith (Printf.sprintf "unknown matrix %s" input);
-    let m = Lazy.force (Phloem_sparse.Inputs.find ~scale:(0.35 *. scale) input).Phloem_sparse.Inputs.matrix in
-    let kind =
-      match bench with
-      | "spmv" -> Taco_kernels.Spmv
-      | "residual" -> Taco_kernels.Residual
-      | "mtmul" -> Taco_kernels.Mtmul
-      | _ -> Taco_kernels.Sddmm
-    in
-    Taco_kernels.bind kind m
-  | other -> failwith (Printf.sprintf "unknown benchmark %s" other)
+module Serve = Phloem_serve
 
 (* Empty traces report 0 cycles; keep the derived ratios finite. *)
 let fdiv a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
 
+(* Parse --inject / --fault-key into a fault plan (shared by the local and
+   the --remote path; the remote daemon replays the identical plan). *)
+let fault_plan inject fault_key =
+  match inject with
+  | None -> None
+  | Some s -> (
+    match Pipette.Faults.of_string s with
+    | Ok plan ->
+      let plan =
+        match fault_key with
+        | Some k -> { plan with Pipette.Faults.fp_key = k }
+        | None -> plan
+      in
+      Some plan
+    | Error msg ->
+      Printf.eprintf "simulate: bad --inject plan: %s\n" msg;
+      exit 2)
+
+(* --- --remote SOCK: replay this CLI invocation against a phloemd ------- *)
+
+let run_remote sock (job : Serve.Protocol.job) json_out =
+  let module Json = Pipette.Telemetry.Json in
+  let line =
+    match
+      Serve.Client.with_unix sock (fun fd ->
+          Serve.Client.request fd (Serve.Protocol.simulate_request job))
+    with
+    | line -> line
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "simulate: cannot reach phloemd at %s: %s\n" sock
+        (Unix.error_message e);
+      exit 1
+    | exception End_of_file ->
+      Printf.eprintf "simulate: phloemd at %s hung up without responding\n" sock;
+      exit 1
+  in
+  let j =
+    try Json.of_string line
+    with Json.Parse_error msg ->
+      Printf.eprintf "simulate: malformed daemon response: %s\n" msg;
+      exit 1
+  in
+  let str k = match Json.member k j with Some (Json.Str s) -> s | _ -> "?" in
+  match Serve.Protocol.response_status j with
+  | "ok" -> (
+    let cached = Serve.Protocol.response_cached j in
+    match Serve.Protocol.response_payload_raw line with
+    | None ->
+      Printf.eprintf "simulate: ok response without a result payload\n";
+      exit 1
+    | Some payload_raw ->
+      let p = Json.of_string payload_raw in
+      let num k =
+        match Option.bind (Json.member k p) Json.to_float_opt with
+        | Some v -> v
+        | None -> 0.0
+      in
+      let valid =
+        match Json.member "valid" p with Some (Json.Bool b) -> b | _ -> false
+      in
+      Printf.printf "%s / %s on %s (remote via %s)\n" job.Serve.Protocol.j_bench
+        job.Serve.Protocol.j_variant job.Serve.Protocol.j_input sock;
+      Printf.printf "  served from cache         : %b\n" cached;
+      Printf.printf "  result valid vs reference : %b\n" valid;
+      Printf.printf "  cycles                    : %.0f\n" (num "cycles");
+      Printf.printf "  speedup over serial       : %.2fx\n" (num "speedup");
+      (match json_out with
+      | Some file ->
+        (* raw payload bytes, so repeated requests write identical files *)
+        let oc = open_out_bin file in
+        output_string oc payload_raw;
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "  JSON report written to %s\n" file
+      | None -> ());
+      if valid then 0 else 2)
+  | "shed" ->
+    Printf.eprintf
+      "simulate: phloemd shed the request (queue %s/%s full); retry with \
+       backoff\n"
+      (match Json.member "queued" j with Some (Json.Int n) -> string_of_int n | _ -> "?")
+      (match Json.member "limit" j with Some (Json.Int n) -> string_of_int n | _ -> "?");
+    8
+  | "error" -> (
+    Printf.eprintf "simulate: remote error [%s]: %s\n" (str "code") (str "message");
+    match
+      Option.bind (Json.member "failure" j) (fun f -> Json.member "exit_code" f)
+    with
+    | Some (Json.Int code) -> code
+    | _ -> 2)
+  | other ->
+    Printf.eprintf "simulate: unknown response status %S\n" other;
+    1
+
 let rec simulate bench variant input scale json_out trace_out sample_interval
-    jobs profile inject fault_key watchdog cycle_budget =
-  let b = bind_bench bench input scale in
+    jobs profile inject fault_key watchdog cycle_budget remote =
+  let plan = fault_plan inject fault_key in
+  let job =
+    {
+      Serve.Protocol.default_job with
+      Serve.Protocol.j_bench = bench;
+      j_variant = variant;
+      j_input = input;
+      j_scale = scale;
+      j_inject = plan;
+      j_watchdog = watchdog;
+      j_cycle_budget = cycle_budget;
+    }
+  in
+  match remote with
+  | Some sock -> run_remote sock job json_out
+  | None ->
+  let b =
+    try Serve.Jobs.bind ~bench ~input ~scale
+    with Serve.Jobs.Bad_job msg -> failwith msg
+  in
   let serial_p, serial_in = b.Workload.b_serial in
   let p, inputs =
-    match variant with
-    | "serial" -> (serial_p, serial_in)
-    | "phloem" -> (Phloem.Compile.static_flow ~stages:4 serial_p, serial_in)
-    | "data-parallel" -> b.Workload.b_data_parallel ~threads:4
-    | "manual" -> (
-      match b.Workload.b_manual with
-      | Some mp -> mp
-      | None -> failwith "no manual pipeline for this benchmark")
-    | other -> failwith (Printf.sprintf "unknown variant %s" other)
+    try Serve.Jobs.variant_pipeline b ~variant ~stages:4 ~threads:4
+    with Serve.Jobs.Bad_job msg -> failwith msg
   in
-  let faults =
-    match inject with
-    | None -> None
-    | Some s -> (
-      match Pipette.Faults.of_string s with
-      | Ok plan ->
-        let plan =
-          match fault_key with
-          | Some k -> { plan with Pipette.Faults.fp_key = k }
-          | None -> plan
-        in
-        Some (Pipette.Faults.create plan)
-      | Error msg ->
-        Printf.eprintf "simulate: bad --inject plan: %s\n" msg;
-        exit 2)
-  in
+  let faults = Option.map Pipette.Faults.create plan in
   let telemetry =
     if json_out <> None || trace_out <> None then
       Some (Pipette.Telemetry.create ~interval:sample_interval ())
@@ -312,6 +367,18 @@ let budget_arg =
           "abort with a budget-exhausted report (exit 7) past $(docv) \
            simulated cycles (default 500000000)")
 
+let remote_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remote" ] ~docv:"SOCK"
+        ~doc:
+          "do not simulate locally: send the job to the phloemd daemon \
+           listening on Unix socket $(docv) and report its response \
+           (repeated identical jobs are served from the daemon's \
+           content-addressed cache). --json writes the daemon's result \
+           payload verbatim; --trace-out/--profile/--jobs do not apply")
+
 let cmd =
   Cmd.v
     (Cmd.info "simulate"
@@ -325,11 +392,15 @@ let cmd =
               retirement); 7 when the cycle budget runs out while progress is \
               still being made. Failures 5-7 print a structured forensics \
               report (per-agent blocked-on state, cyclic wait chain, queue \
-              occupancy, diagnosis) and write it to --json when given.";
+              occupancy, diagnosis) and write it to --json when given. With \
+              --remote: 1 when the daemon is unreachable or responds \
+              malformed, 8 when it sheds the request under load (its job \
+              queue is full — retry with backoff); remote pipeline failures \
+              map to the same 5-7.";
          ])
     Term.(
       const simulate $ bench_arg $ variant_arg $ input_arg $ scale_arg $ json_arg
       $ trace_arg $ interval_arg $ jobs_arg $ profile_arg $ inject_arg
-      $ fault_key_arg $ watchdog_arg $ budget_arg)
+      $ fault_key_arg $ watchdog_arg $ budget_arg $ remote_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -55,6 +55,26 @@ let timed phase f =
 
 let add_ops n = with_lock (fun () -> ops := !ops + n)
 
+(* Throughput and speedup guards. Tiny daemon-dispatched smoke sweeps can
+   finish inside the wall clock's resolution, making a measured duration
+   exactly 0.0 (or, through later arithmetic, non-finite); a naive division
+   then writes inf/NaN into a JSON report, which the strict parser behind
+   [Regress.compare_json] rejects — one degenerate measurement poisons the
+   whole comparison. Both helpers map every degenerate case to 0.0, which
+   reports render as "no measurement" rather than corrupting the file. *)
+let per_second n s =
+  if n <= 0 || not (Float.is_finite s) || s <= 0.0 then 0.0
+  else
+    let r = float_of_int n /. s in
+    if Float.is_finite r then r else 0.0
+
+let ratio a b =
+  if not (Float.is_finite a) || not (Float.is_finite b) || b <= 0.0 || a < 0.0
+  then 0.0
+  else
+    let r = a /. b in
+    if Float.is_finite r then r else 0.0
+
 let snapshot () =
   let hits, misses = Pipette.Sim.cache_stats () in
   with_lock (fun () ->

@@ -22,6 +22,18 @@ val timed : phase -> (unit -> 'a) -> 'a
 val add_ops : int -> unit
 (** Credit [n] engine-replayed µops to the throughput counter. *)
 
+val per_second : int -> float -> float
+(** [per_second n s] is [n /. s] guarded for report emission: zero or
+    sub-resolution durations (a tiny sweep can complete in < 1 ms, and the
+    measured wall delta can be exactly [0.0]), non-finite durations, and
+    non-positive counts all yield [0.0] instead of inf/NaN — a NaN written
+    into a wall report poisons {!Regress.compare_json}'s strict parse. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b] with the same guarantee: [0.0] whenever either
+    operand is non-finite, [b] is not strictly positive, or [a] is
+    negative. Never returns inf or NaN. *)
+
 val reset : unit -> unit
 (** Zero the accumulators (cache hit counters are owned by
     {!Pipette.Sim} and reset by [Sim.clear_caches]). *)

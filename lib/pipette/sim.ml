@@ -100,12 +100,19 @@ let ra_cores (p : Types.pipeline) (thread_core : int array) =
    PHLOEM_TRACE_CACHE=0 to disable (every run then recompiles/re-executes,
    as the tree path always did). *)
 
-let cache_enabled =
-  match Sys.getenv_opt "PHLOEM_TRACE_CACHE" with
-  | Some ("0" | "false" | "off") -> false
-  | _ -> true
+(* The environment variable is only the *initial* value: a long-lived
+   process (phloemd) must be able to toggle caching at runtime, so the
+   flag is mutable state, not a module-init constant. *)
+let cache_enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "PHLOEM_TRACE_CACHE" with
+    | Some ("0" | "false" | "off") -> false
+    | _ -> true)
 
-let cache_cap = 64
+let cache_enabled () = Atomic.get cache_enabled_flag
+let set_cache_enabled b = Atomic.set cache_enabled_flag b
+
+let cache_cap = ref 64
 let cache_lock = Mutex.create ()
 
 let program_cache : (string, Phloem_ir.Flat.program array) Hashtbl.t =
@@ -116,6 +123,10 @@ let trace_cache : (string, Interp.result) Hashtbl.t = Hashtbl.create 16
 let trace_order : string Queue.t = Queue.create ()
 let trace_hits = Atomic.make 0
 let trace_misses = Atomic.make 0
+let trace_evictions = Atomic.make 0
+let program_hits = Atomic.make 0
+let program_misses = Atomic.make 0
+let program_evictions = Atomic.make 0
 
 let with_lock f =
   Mutex.lock cache_lock;
@@ -123,14 +134,33 @@ let with_lock f =
 
 let cache_find tbl key = with_lock (fun () -> Hashtbl.find_opt tbl key)
 
-let cache_add tbl order key v =
+let cache_add tbl order evictions key v =
   with_lock (fun () ->
       if not (Hashtbl.mem tbl key) then begin
-        if Queue.length order >= cache_cap then
+        while Queue.length order >= !cache_cap do
           Hashtbl.remove tbl (Queue.pop order);
+          Atomic.incr evictions
+        done;
         Queue.push key order;
         Hashtbl.add tbl key v
       end)
+
+let set_cache_capacity n =
+  if n < 1 then invalid_arg "Sim.set_cache_capacity: capacity must be >= 1";
+  with_lock (fun () ->
+      cache_cap := n;
+      (* Shrinking evicts down to the new bound immediately, oldest first,
+         so the bound is an invariant and not just an insert-time check. *)
+      let trim tbl order evictions =
+        while Queue.length order > n do
+          Hashtbl.remove tbl (Queue.pop order);
+          Atomic.incr evictions
+        done
+      in
+      trim program_cache program_order program_evictions;
+      trim trace_cache trace_order trace_evictions)
+
+let cache_capacity () = with_lock (fun () -> !cache_cap)
 
 let clear_caches () =
   with_lock (fun () ->
@@ -139,26 +169,62 @@ let clear_caches () =
       Hashtbl.reset trace_cache;
       Queue.clear trace_order);
   Atomic.set trace_hits 0;
-  Atomic.set trace_misses 0
+  Atomic.set trace_misses 0;
+  Atomic.set trace_evictions 0;
+  Atomic.set program_hits 0;
+  Atomic.set program_misses 0;
+  Atomic.set program_evictions 0
 
 let cache_stats () = (Atomic.get trace_hits, Atomic.get trace_misses)
+
+type cache_counters = {
+  cc_program_hits : int;
+  cc_program_misses : int;
+  cc_program_evictions : int;
+  cc_program_entries : int;
+  cc_trace_hits : int;
+  cc_trace_misses : int;
+  cc_trace_evictions : int;
+  cc_trace_entries : int;
+  cc_capacity : int;
+}
+
+let cache_counters () =
+  let program_entries, trace_entries, capacity =
+    with_lock (fun () ->
+        (Hashtbl.length program_cache, Hashtbl.length trace_cache, !cache_cap))
+  in
+  {
+    cc_program_hits = Atomic.get program_hits;
+    cc_program_misses = Atomic.get program_misses;
+    cc_program_evictions = Atomic.get program_evictions;
+    cc_program_entries = program_entries;
+    cc_trace_hits = Atomic.get trace_hits;
+    cc_trace_misses = Atomic.get trace_misses;
+    cc_trace_evictions = Atomic.get trace_evictions;
+    cc_trace_entries = trace_entries;
+    cc_capacity = capacity;
+  }
 let pipeline_digest (p : Types.pipeline) = Digest.string (Marshal.to_string p [])
 
 let prepare (p : Types.pipeline) : Phloem_ir.Flat.program array =
   Validate.check p;
-  if not cache_enabled then Phloem_ir.Flat.compile p
+  if not (cache_enabled ()) then Phloem_ir.Flat.compile p
   else
     let key = pipeline_digest p in
     match cache_find program_cache key with
-    | Some progs -> progs
+    | Some progs ->
+      Atomic.incr program_hits;
+      progs
     | None ->
+      Atomic.incr program_misses;
       let progs = Phloem_ir.Flat.compile p in
-      cache_add program_cache program_order key progs;
+      cache_add program_cache program_order program_evictions key progs;
       progs
 
 let functional ?(inputs = []) (p : Types.pipeline) : Interp.result =
   let programs = prepare p in
-  if not cache_enabled then Phloem_ir.Flat.run ~inputs ~programs p
+  if not (cache_enabled ()) then Phloem_ir.Flat.run ~inputs ~programs p
   else
     (* The op budget changes which executions complete, so it is part of
        the key; failed runs raise before the insert and are never cached. *)
@@ -177,7 +243,7 @@ let functional ?(inputs = []) (p : Types.pipeline) : Interp.result =
       Array.iter
         (fun tt -> ignore (Trace.pack tt))
         r.Interp.r_trace.Trace.threads;
-      cache_add trace_cache trace_order key r;
+      cache_add trace_cache trace_order trace_evictions key r;
       r
 
 let simulate ?(cfg = Config.default) ?thread_core ?telemetry ?faults ?watchdog

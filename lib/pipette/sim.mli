@@ -93,6 +93,42 @@ val clear_caches : unit -> unit
 val cache_stats : unit -> int * int
 (** [(hits, misses)] of the functional-trace cache since the last clear. *)
 
+val cache_enabled : unit -> bool
+(** Whether memoization is currently on. The initial value comes from the
+    [PHLOEM_TRACE_CACHE] environment variable ([0]/[false]/[off] disable);
+    after startup it is runtime state settable with {!set_cache_enabled} —
+    a long-lived daemon can toggle it at any time. *)
+
+val set_cache_enabled : bool -> unit
+(** Turn memoization on or off at runtime. Disabling does not drop entries
+    already cached (use {!clear_caches} for that); re-enabling resumes
+    serving them. *)
+
+val set_cache_capacity : int -> unit
+(** Set the FIFO bound (entries) of both the compiled-program and the
+    functional-trace cache. Shrinking below the current occupancy evicts
+    oldest-first immediately, so the bound always holds.
+    @raise Invalid_argument if the capacity is < 1. *)
+
+val cache_capacity : unit -> int
+(** The current FIFO bound of each cache (default 64). *)
+
+type cache_counters = {
+  cc_program_hits : int;
+  cc_program_misses : int;
+  cc_program_evictions : int;
+  cc_program_entries : int;  (** compiled programs currently cached *)
+  cc_trace_hits : int;
+  cc_trace_misses : int;
+  cc_trace_evictions : int;
+  cc_trace_entries : int;  (** functional traces currently cached *)
+  cc_capacity : int;  (** current FIFO bound of each cache *)
+}
+(** Hit / miss / eviction / occupancy counters of both memo tables, for a
+    long-lived server's stats endpoint. Counters reset on {!clear_caches}. *)
+
+val cache_counters : unit -> cache_counters
+
 val stage_names : Phloem_ir.Types.pipeline -> string array
 (** Stage names in thread order, for labeling {!analyze} reports. *)
 

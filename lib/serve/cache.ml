@@ -1,0 +1,94 @@
+(* Content-addressed result cache: hex content key -> serialized result
+   payload bytes. Payloads are stored and served as opaque bytes so a hit
+   is byte-identical to the cold response that filled the entry. FIFO
+   bounded and mutex-guarded: client threads look entries up while the
+   dispatcher inserts. *)
+
+module Json = Pipette.Telemetry.Json
+
+type t = {
+  mutex : Mutex.t;
+  tbl : (string, string) Hashtbl.t;
+  order : string Queue.t;
+  mutable capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable payload_bytes : int; (* bytes currently resident *)
+}
+
+type stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_evictions : int;
+  cs_entries : int;
+  cs_capacity : int;
+  cs_payload_bytes : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Serve.Cache.create: capacity must be >= 1";
+  {
+    mutex = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    order = Queue.create ();
+    capacity;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    payload_bytes = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some payload ->
+        t.hits <- t.hits + 1;
+        Some payload
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t key payload =
+  with_lock t (fun () ->
+      (* Concurrent identical misses both compute; determinism makes their
+         payloads identical, so the second insert is simply dropped. *)
+      if not (Hashtbl.mem t.tbl key) then begin
+        while Queue.length t.order >= t.capacity do
+          let victim = Queue.pop t.order in
+          (match Hashtbl.find_opt t.tbl victim with
+          | Some p -> t.payload_bytes <- t.payload_bytes - String.length p
+          | None -> ());
+          Hashtbl.remove t.tbl victim;
+          t.evictions <- t.evictions + 1
+        done;
+        Queue.push key t.order;
+        Hashtbl.add t.tbl key payload;
+        t.payload_bytes <- t.payload_bytes + String.length payload
+      end)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        cs_hits = t.hits;
+        cs_misses = t.misses;
+        cs_evictions = t.evictions;
+        cs_entries = Hashtbl.length t.tbl;
+        cs_capacity = t.capacity;
+        cs_payload_bytes = t.payload_bytes;
+      })
+
+let json_of_stats (s : stats) : Json.t =
+  Json.Obj
+    [
+      ("hits", Json.Int s.cs_hits);
+      ("misses", Json.Int s.cs_misses);
+      ("evictions", Json.Int s.cs_evictions);
+      ("entries", Json.Int s.cs_entries);
+      ("capacity", Json.Int s.cs_capacity);
+      ("payload_bytes", Json.Int s.cs_payload_bytes);
+    ]

@@ -1,0 +1,31 @@
+(** Content-addressed result cache of the daemon: hex content key (see
+    {!Protocol.content_key}) to serialized result payload bytes. Payloads
+    are opaque bytes, so a hit is byte-identical to the cold response that
+    filled the entry. FIFO-bounded; mutex-guarded (client threads look up
+    while the dispatcher inserts). *)
+
+type t
+
+type stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_evictions : int;
+  cs_entries : int;
+  cs_capacity : int;
+  cs_payload_bytes : int;  (** bytes currently resident *)
+}
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 256) is the entry bound; oldest entries are
+    evicted first. @raise Invalid_argument if [capacity < 1]. *)
+
+val find : t -> string -> string option
+(** Counts a hit or a miss. *)
+
+val add : t -> string -> string -> unit
+(** Insert-if-absent (concurrent identical misses race benignly: results
+    are deterministic, the second insert is dropped), evicting FIFO past
+    the capacity. *)
+
+val stats : t -> stats
+val json_of_stats : stats -> Pipette.Telemetry.Json.t

@@ -1,0 +1,45 @@
+(* Minimal blocking client for phloemd's line protocol, used by
+   `simulate --remote` and the tests. *)
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let with_unix path f =
+  let fd = connect_unix path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let send_line fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length data in
+  let rec loop off =
+    if off < n then loop (off + Unix.write fd data off (n - off))
+  in
+  loop 0
+
+(* One response line, without its newline. @raise End_of_file if the
+   daemon hangs up first. *)
+let recv_line fd =
+  let buf = Buffer.create 1024 in
+  let b = Bytes.create 1 in
+  let rec loop () =
+    match Unix.read fd b 0 1 with
+    | 0 -> if Buffer.length buf = 0 then raise End_of_file else Buffer.contents buf
+    | _ ->
+      if Bytes.get b 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get b 0);
+        loop ()
+      end
+  in
+  loop ()
+
+let request fd line =
+  send_line fd line;
+  recv_line fd

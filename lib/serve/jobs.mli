@@ -1,0 +1,32 @@
+(** Shared binding and execution of compile+simulate jobs: the substrate
+    under both `bin/simulate.exe` and phloemd's dispatcher. *)
+
+exception Bad_job of string
+(** Unknown benchmark / input / variant: the job can never run (as opposed
+    to a run-time pipeline failure, which raises
+    {!Phloem_ir.Forensics.Pipeline_failure}). *)
+
+val graph_names : string list
+
+val bind :
+  bench:string -> input:string -> scale:float -> Phloem_workloads.Workload.bound
+(** Bind a named benchmark to its named generated input at [scale].
+    @raise Bad_job on unknown names. *)
+
+val variant_pipeline :
+  Phloem_workloads.Workload.bound ->
+  variant:string ->
+  stages:int ->
+  threads:int ->
+  Phloem_ir.Types.pipeline * Phloem_workloads.Workload.inputs
+(** Select the serial / phloem / data-parallel / manual pipeline of a bound
+    workload. @raise Bad_job on an unknown or unavailable variant. *)
+
+val run : Protocol.job -> string
+(** Execute one job — serial baseline plus requested variant, faults
+    injected into the variant only — and serialize the result payload.
+    Serialization is deterministic: identical jobs yield identical bytes,
+    which is what the daemon's content-addressed cache relies on. Phase
+    wall time is charged to {!Phloem_harness.Phases}.
+    @raise Bad_job on unknown names
+    @raise Phloem_ir.Forensics.Pipeline_failure on deadlock/livelock/budget *)

@@ -1,0 +1,123 @@
+(* Bounded job queue with per-client round-robin fairness. Each client has
+   its own FIFO; a rotation queue holds the ids of clients with pending
+   work, each at most once. [take_batch] pops one job per rotation turn, so
+   a client streaming hundreds of requests cannot starve one submitting a
+   single job — dispatch order interleaves clients no matter the arrival
+   order. The total bound is global: when [queued = limit] a submit is shed
+   (explicit backpressure), never blocked or dropped silently. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t; (* signalled on submit and on close *)
+  queues : (int, 'a Queue.t) Hashtbl.t;
+  rotation : int Queue.t; (* client ids with pending jobs, each once *)
+  limit : int;
+  mutable queued : int;
+  mutable closed : bool;
+  mutable accepted : int;
+  mutable shed : int;
+  mutable dispatched : int;
+}
+
+type shed_info = { sh_queued : int; sh_limit : int }
+
+type stats = {
+  st_accepted : int;
+  st_shed : int;
+  st_dispatched : int;
+  st_queued : int;
+  st_limit : int;
+}
+
+let create ?(limit = 64) () =
+  if limit < 0 then invalid_arg "Serve.Scheduler.create: negative limit";
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    queues = Hashtbl.create 16;
+    rotation = Queue.create ();
+    limit;
+    queued = 0;
+    closed = false;
+    accepted = 0;
+    shed = 0;
+    dispatched = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let submit t ~client job =
+  with_lock t (fun () ->
+      if t.closed then begin
+        t.shed <- t.shed + 1;
+        Error { sh_queued = t.queued; sh_limit = t.limit }
+      end
+      else if t.queued >= t.limit then begin
+        t.shed <- t.shed + 1;
+        Error { sh_queued = t.queued; sh_limit = t.limit }
+      end
+      else begin
+        let q =
+          match Hashtbl.find_opt t.queues client with
+          | Some q -> q
+          | None ->
+            let q = Queue.create () in
+            Hashtbl.add t.queues client q;
+            q
+        in
+        if Queue.is_empty q then Queue.push client t.rotation;
+        Queue.push job q;
+        t.queued <- t.queued + 1;
+        t.accepted <- t.accepted + 1;
+        Condition.signal t.nonempty;
+        Ok ()
+      end)
+
+(* One job from the client at the head of the rotation; the client re-enters
+   the rotation's tail while it still has pending work. Caller holds the
+   lock. *)
+let pop_one t =
+  match Queue.take_opt t.rotation with
+  | None -> None
+  | Some client ->
+    let q = Hashtbl.find t.queues client in
+    let job = Queue.pop q in
+    if not (Queue.is_empty q) then Queue.push client t.rotation;
+    t.queued <- t.queued - 1;
+    t.dispatched <- t.dispatched + 1;
+    Some job
+
+let take_batch t ~max =
+  if max < 1 then invalid_arg "Serve.Scheduler.take_batch: max must be >= 1";
+  with_lock t (fun () ->
+      while t.queued = 0 && not t.closed do
+        Condition.wait t.nonempty t.mutex
+      done;
+      (* closed and drained -> [] signals the dispatcher to exit *)
+      let rec grab acc n =
+        if n = 0 then List.rev acc
+        else
+          match pop_one t with
+          | Some job -> grab (job :: acc) (n - 1)
+          | None -> List.rev acc
+      in
+      grab [] max)
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let queued t = with_lock t (fun () -> t.queued)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        st_accepted = t.accepted;
+        st_shed = t.shed;
+        st_dispatched = t.dispatched;
+        st_queued = t.queued;
+        st_limit = t.limit;
+      })

@@ -1,0 +1,39 @@
+(** Bounded job queue with per-client round-robin fairness and explicit
+    backpressure. Each client has its own FIFO; dispatch interleaves
+    clients one job per turn, so a chatty client cannot starve a quiet
+    one. The bound is global: a submit past it is {e shed} (reported to
+    the caller), never blocked or silently dropped. *)
+
+type 'a t
+
+type shed_info = { sh_queued : int; sh_limit : int }
+
+type stats = {
+  st_accepted : int;
+  st_shed : int;
+  st_dispatched : int;
+  st_queued : int;
+  st_limit : int;
+}
+
+val create : ?limit:int -> unit -> 'a t
+(** [limit] (default 64) bounds the total queued jobs across all clients;
+    [limit = 0] sheds every submit (useful for tests and drain mode).
+    @raise Invalid_argument on a negative limit. *)
+
+val submit : 'a t -> client:int -> 'a -> (unit, shed_info) result
+(** Enqueue a job for [client], or shed it when the queue is full or the
+    scheduler is closed. Never blocks. *)
+
+val take_batch : 'a t -> max:int -> 'a list
+(** Block until at least one job is available (or the scheduler is closed),
+    then pop up to [max] jobs round-robin across clients. [[]] means closed
+    and fully drained — the dispatcher's exit signal.
+    @raise Invalid_argument if [max < 1]. *)
+
+val close : 'a t -> unit
+(** Stop accepting submits (they shed) and wake blocked takers; already
+    queued jobs still drain through {!take_batch}. *)
+
+val queued : 'a t -> int
+val stats : 'a t -> stats

@@ -549,6 +549,97 @@ let test_sim_cache_warm () =
   let tree = Sim.run_tree ~inputs p in
   check_sim_eq "warm vs tree" warm tree
 
+(* The cache-enabled flag is runtime state (a daemon toggles it), not a
+   module-init constant: both toggle orders must work within one process.
+   Disabled runs must not touch the memo tables; re-enabling must resume
+   caching (miss then hit); results stay identical throughout. *)
+let test_sim_cache_toggle () =
+  let p, inputs = (Bfs.bind (grid ())).Workload.b_serial in
+  let initial = Sim.cache_enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Sim.set_cache_enabled initial;
+      Sim.clear_caches ())
+    (fun () ->
+      (* order 1: enabled -> disabled *)
+      Sim.set_cache_enabled true;
+      Sim.clear_caches ();
+      let cold = Sim.run ~inputs p in
+      Sim.set_cache_enabled false;
+      let off = Sim.run ~inputs p in
+      check_sim_eq "cache off vs cold" cold off;
+      let c = Sim.cache_counters () in
+      Alcotest.(check int) "disabled run records no trace hit/miss" 1
+        (c.Sim.cc_trace_hits + c.Sim.cc_trace_misses);
+      (* order 2: disabled -> enabled *)
+      Sim.clear_caches ();
+      let off2 = Sim.run ~inputs p in
+      check_sim_eq "still disabled" cold off2;
+      let c = Sim.cache_counters () in
+      Alcotest.(check int) "still no cache traffic" 0
+        (c.Sim.cc_trace_hits + c.Sim.cc_trace_misses);
+      Sim.set_cache_enabled true;
+      let warm_miss = Sim.run ~inputs p in
+      let warm_hit = Sim.run ~inputs p in
+      check_sim_eq "re-enabled miss" cold warm_miss;
+      check_sim_eq "re-enabled hit" cold warm_hit;
+      let c = Sim.cache_counters () in
+      Alcotest.(check (pair int int))
+        "re-enabling resumes caching (miss then hit)" (1, 1)
+        (c.Sim.cc_trace_hits, c.Sim.cc_trace_misses))
+
+(* The FIFO bound is configurable and must hold under churn: simulating
+   more distinct pipelines than the capacity keeps both memo tables at the
+   bound, with the overflow visible in the eviction counters and evicted
+   entries re-missing on reuse. *)
+let test_sim_cache_capacity_churn () =
+  let initial_cap = Sim.cache_capacity () in
+  let initial_on = Sim.cache_enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Sim.set_cache_capacity initial_cap;
+      Sim.set_cache_enabled initial_on;
+      Sim.clear_caches ())
+    (fun () ->
+      Alcotest.check_raises "capacity must be positive"
+        (Invalid_argument "Sim.set_cache_capacity: capacity must be >= 1")
+        (fun () -> Sim.set_cache_capacity 0);
+      Sim.set_cache_enabled true;
+      Sim.clear_caches ();
+      Sim.set_cache_capacity 4;
+      (* 10 structurally distinct pipelines (distinct iteration bounds) *)
+      let pipe n =
+        pipeline (Printf.sprintf "churn%d" n)
+          ~queues:[ queue 0 ]
+          [
+            stage "prod" [ for_ "i" (int 0) (int n) [ enq 0 (v "i") ] ];
+            stage "cons" [ for_ "i" (int 0) (int n) [ "x" <-- deq 0 ] ];
+          ]
+      in
+      for n = 1 to 10 do
+        ignore (Sim.run (pipe n))
+      done;
+      let c = Sim.cache_counters () in
+      Alcotest.(check int) "trace entries at the bound" 4 c.Sim.cc_trace_entries;
+      Alcotest.(check int) "program entries at the bound" 4
+        c.Sim.cc_program_entries;
+      Alcotest.(check int) "trace evictions = overflow" 6 c.Sim.cc_trace_evictions;
+      Alcotest.(check int) "program evictions = overflow" 6
+        c.Sim.cc_program_evictions;
+      Alcotest.(check int) "all ten missed" 10 c.Sim.cc_trace_misses;
+      (* oldest entries were evicted; the newest still hit *)
+      ignore (Sim.run (pipe 10));
+      ignore (Sim.run (pipe 1));
+      let c = Sim.cache_counters () in
+      Alcotest.(check int) "newest entry hits" 1 c.Sim.cc_trace_hits;
+      Alcotest.(check int) "evicted entry re-misses" 11 c.Sim.cc_trace_misses;
+      (* shrinking evicts immediately, oldest first *)
+      Sim.set_cache_capacity 2;
+      let c = Sim.cache_counters () in
+      Alcotest.(check int) "shrink trims to the new bound" 2
+        c.Sim.cc_trace_entries;
+      Alcotest.(check int) "shrink trims programs too" 2 c.Sim.cc_program_entries)
+
 (* A two-stage producer/consumer whose queue is the fault target. [n] is
    larger than the queue depth so occupancy faults bite. *)
 let faulty_pipe n =
@@ -643,6 +734,10 @@ let () =
           Alcotest.test_case "sparse benchmarks" `Quick
             test_sim_workloads_sparse;
           Alcotest.test_case "warm trace cache" `Quick test_sim_cache_warm;
+          Alcotest.test_case "cache toggle at runtime" `Quick
+            test_sim_cache_toggle;
+          Alcotest.test_case "cache capacity under churn" `Quick
+            test_sim_cache_capacity_churn;
           Alcotest.test_case "fault perturbation" `Quick
             test_sim_fault_perturbed;
           Alcotest.test_case "fault deadlock" `Quick test_sim_fault_deadlock;
