@@ -14,7 +14,7 @@ open Cmdliner
 module Log = Phloem_util.Log
 
 let compile_cmd src_file stages length list_cuts flags_off time_passes verify_each
-    dump_ir print_pipeline log_level =
+    dump_ir print_pipeline log_level autotune beam budget autotune_json =
   (match Option.bind log_level Log.level_of_string with
   | Some l -> Log.set_level l
   | None ->
@@ -43,7 +43,7 @@ let compile_cmd src_file stages length list_cuts flags_off time_passes verify_ea
           | Phloem_ir.Types.Ety_float -> Phloem_ir.Types.Vfloat 1.0 ))
       lw.Phloem_minic.Lower.lw_scalars
   in
-  let serial, _ = Phloem_minic.Lower.to_serial_pipeline lw ~arrays ~scalars in
+  let serial, inputs = Phloem_minic.Lower.to_serial_pipeline lw ~arrays ~scalars in
   if list_cuts then begin
     print_endline "Decoupling-point candidates (best first):";
     List.iteri
@@ -64,9 +64,10 @@ let compile_cmd src_file stages length list_cuts flags_off time_passes verify_ea
         | "cv" -> { f with f_cv = false }
         | "handlers" -> { f with f_handlers = false }
         | "dce" -> { f with f_dce = false }
+        | "chain" -> { f with f_chain = false }
         | other ->
           Printf.eprintf
-            "phloemc: unknown pass %s (recompute|ra|cv|handlers|dce)\n" other;
+            "phloemc: unknown pass %s (recompute|ra|cv|handlers|dce|chain)\n" other;
           exit 1)
       Phloem.Decouple.all_passes flags_off
   in
@@ -78,6 +79,26 @@ let compile_cmd src_file stages length list_cuts flags_off time_passes verify_ea
           (Phloem.Pass.describe_of pass))
       (Phloem.Passes.standard ~flags)
   end;
+  if autotune then begin
+    (* Search the full design space on the placeholder-bound kernel: every
+       output array is checked against the serial run, so the winning
+       configuration is known-correct for these bindings. *)
+    let check_arrays = List.map fst arrays in
+    let outcome =
+      Phloem_util.Pool.with_pool (fun pool ->
+          Phloem.Autotune.tune ~flags ~beam ~budget ~pool ~check_arrays
+            ~training:[ (serial, inputs) ] ())
+    in
+    print_string (Phloem.Autotune.summary outcome);
+    (match autotune_json with
+    | Some file ->
+      Pipette.Telemetry.Json.to_file file
+        (Phloem.Autotune.json_of_outcome outcome);
+      Printf.printf ";; search trace written to %s\n" file
+    | None -> ());
+    0
+  end
+  else
   let options =
     { Phloem.Pass.verify_each; dump_ir; keep_snapshots = false }
   in
@@ -114,7 +135,7 @@ let flags_off_arg =
   Arg.(
     value & opt_all string []
     & info [ "disable" ]
-        ~doc:"disable a pass: recompute, ra, cv, handlers, dce (repeatable)")
+        ~doc:"disable a pass: recompute, ra, cv, handlers, dce, chain (repeatable)")
 
 let time_passes_arg =
   Arg.(
@@ -146,12 +167,46 @@ let log_level_arg =
     & info [ "log-level" ] ~docv:"LEVEL"
         ~doc:"diagnostics threshold: debug, info, warn (default), or error")
 
+let autotune_arg =
+  Arg.(
+    value & flag
+    & info [ "autotune" ]
+        ~doc:
+          "run the analysis-guided autotuner over the full design space \
+           (cut sets x queue capacities x replication x chaining x cores) \
+           on the placeholder-bound kernel instead of the static flow; \
+           prints the winning configuration and search counters. The \
+           --disable flags seed the search's pass gates.")
+
+let beam_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "beam" ] ~docv:"N"
+        ~doc:"(--autotune) expand only the $(docv) best survivors per wave")
+
+let budget_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "budget" ] ~docv:"N"
+        ~doc:"(--autotune) simulate at most $(docv) configurations in total")
+
+let autotune_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "autotune-json" ] ~docv:"FILE"
+        ~doc:
+          "(--autotune) write the winning configuration and the full \
+           search trace (per-candidate cycles, verdicts, move provenance) \
+           as JSON to $(docv)")
+
 let cmd =
   Cmd.v
     (Cmd.info "phloemc" ~doc:"compile a serial minic kernel into a Pipette pipeline")
     Term.(
       const compile_cmd $ src_arg $ stages_arg $ length_arg $ list_cuts_arg
       $ flags_off_arg $ time_passes_arg $ verify_each_arg $ dump_ir_arg
-      $ print_pipeline_arg $ log_level_arg)
+      $ print_pipeline_arg $ log_level_arg $ autotune_arg $ beam_arg
+      $ budget_arg $ autotune_json_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -105,8 +105,79 @@ let run_remote sock (job : Serve.Protocol.job) json_out =
     Printf.eprintf "simulate: unknown response status %S\n" other;
     1
 
+(* --- --autotune: analysis-guided search over the full design space ----- *)
+
+let run_autotune bench input scale json_out jobs beam search_budget max_replicas
+    max_cores =
+  let module Json = Pipette.Telemetry.Json in
+  let b =
+    try Serve.Jobs.bind ~bench ~input ~scale
+    with Serve.Jobs.Bad_job msg -> failwith msg
+  in
+  let outcome =
+    Phloem_util.Pool.with_pool ~jobs (fun pool ->
+        Phloem.Autotune.tune ~beam ~budget:search_budget ~max_replicas
+          ~max_cores ~pool ~check_arrays:b.Workload.b_check_arrays
+          ~training:[ b.Workload.b_serial ] ())
+  in
+  Printf.printf "%s / autotune on %s\n" b.Workload.b_name input;
+  print_string (Phloem.Autotune.summary outcome);
+  (match json_out with
+  | Some file ->
+    let cyc = function c :: _ -> c | [] -> 0 in
+    let serial_c = cyc outcome.Phloem.Autotune.o_serial_cycles in
+    let speedup c = if c = 0 then 0.0 else float_of_int serial_c /. float_of_int c in
+    let run_obj c =
+      Json.Obj [ ("cycles", Json.Int c); ("speedup", Json.Float (speedup c)) ]
+    in
+    (* the "benchmarks" section mirrors the evaluation-report shape so
+       Harness.Regress can diff autotune baselines with the same machinery *)
+    let runs =
+      [
+        ("serial", run_obj serial_c);
+        ("autotuned", run_obj (cyc outcome.Phloem.Autotune.o_best_cycles));
+      ]
+      @
+      match outcome.Phloem.Autotune.o_cut_only with
+      | Some (_, cycles, _) -> [ ("pgo_cut_only", run_obj (cyc cycles)) ]
+      | None -> []
+    in
+    Json.to_file file
+      (Json.Obj
+         [
+           ("bench", Json.Str bench);
+           ("input", Json.Str input);
+           ("scale", Json.Float scale);
+           ("autotune", Phloem.Autotune.json_of_outcome outcome);
+           ( "benchmarks",
+             Json.List
+               [
+                 Json.Obj
+                   [
+                     ("benchmark", Json.Str bench);
+                     ( "inputs",
+                       Json.List
+                         [
+                           Json.Obj
+                             [
+                               ("input", Json.Str input);
+                               ("runs", Json.Obj runs);
+                             ];
+                         ] );
+                   ];
+               ] );
+         ]);
+    Printf.printf "  JSON report written to %s\n" file
+  | None -> ());
+  0
+
 let rec simulate bench variant input scale json_out trace_out sample_interval
-    jobs profile inject fault_key watchdog cycle_budget remote =
+    jobs profile inject fault_key watchdog cycle_budget remote autotune beam
+    search_budget max_replicas max_cores =
+  if autotune then
+    run_autotune bench input scale json_out jobs beam search_budget max_replicas
+      max_cores
+  else
   let plan = fault_plan inject fault_key in
   let job =
     {
@@ -379,6 +450,43 @@ let remote_arg =
            content-addressed cache). --json writes the daemon's result \
            payload verbatim; --trace-out/--profile/--jobs do not apply")
 
+let autotune_arg =
+  Arg.(
+    value & flag
+    & info [ "autotune" ]
+        ~doc:
+          "ignore VARIANT and run the analysis-guided autotuner over the \
+           full design space (cut sets x queue capacities x replication x \
+           chaining x cores) on this benchmark/input, seeding the search \
+           with every PGO cut set; prints the winning configuration and \
+           search counters, and writes the full search trace to --json")
+
+let beam_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "beam" ] ~docv:"N"
+        ~doc:"(--autotune) expand only the $(docv) best survivors per wave")
+
+let search_budget_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "search-budget" ] ~docv:"N"
+        ~doc:
+          "(--autotune) simulate at most $(docv) configurations in total \
+           (distinct from --cycle-budget, which bounds one replay)")
+
+let max_replicas_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "max-replicas" ] ~docv:"N"
+        ~doc:"(--autotune) cap pipeline replication at $(docv) copies")
+
+let max_cores_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "max-cores" ] ~docv:"N"
+        ~doc:"(--autotune) cap the simulated core count at $(docv)")
+
 let cmd =
   Cmd.v
     (Cmd.info "simulate"
@@ -401,6 +509,7 @@ let cmd =
     Term.(
       const simulate $ bench_arg $ variant_arg $ input_arg $ scale_arg $ json_arg
       $ trace_arg $ interval_arg $ jobs_arg $ profile_arg $ inject_arg
-      $ fault_key_arg $ watchdog_arg $ budget_arg $ remote_arg)
+      $ fault_key_arg $ watchdog_arg $ budget_arg $ remote_arg $ autotune_arg
+      $ beam_arg $ search_budget_arg $ max_replicas_arg $ max_cores_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -30,6 +30,7 @@ type flags = Pass.flags = {
   f_cv : bool;
   f_handlers : bool;
   f_dce : bool;
+  f_chain : bool;
 }
 
 let all_passes = Pass.all_passes

@@ -33,13 +33,31 @@ type flags = {
   f_cv : bool;
   f_handlers : bool;
   f_dce : bool;
+  f_chain : bool;
+      (* scan-chaining as its own first-class knob: the autotuner toggles it
+         per candidate config without disturbing the RA/DCE decisions made
+         inside decouple (f_ra / f_dce stay the ablation-ladder gates) *)
 }
 
 let all_passes =
-  { f_recompute = true; f_ra = true; f_cv = true; f_handlers = true; f_dce = true }
+  {
+    f_recompute = true;
+    f_ra = true;
+    f_cv = true;
+    f_handlers = true;
+    f_dce = true;
+    f_chain = true;
+  }
 
 let queues_only =
-  { f_recompute = false; f_ra = false; f_cv = false; f_handlers = false; f_dce = false }
+  {
+    f_recompute = false;
+    f_ra = false;
+    f_cv = false;
+    f_handlers = false;
+    f_dce = false;
+    f_chain = false;
+  }
 
 (* Context shared by every pass of one compilation. *)
 type ctx = {

@@ -289,5 +289,7 @@ let () =
    the limit checks. *)
 let standard ~(flags : Pass.flags) : Pass.pass list =
   [ decouple ]
-  @ (if flags.Pass.f_ra && flags.Pass.f_dce then [ scan_chain ] else [])
+  @ (if flags.Pass.f_ra && flags.Pass.f_dce && flags.Pass.f_chain then
+       [ scan_chain ]
+     else [])
   @ [ cleanup; check_deadlock; check_limits; validate ]

@@ -21,8 +21,28 @@ type outcome = {
   serial_cycles : int list;
 }
 
+(* Canonical digest of a cut set, insensitive to list order (subsets are
+   always re-sorted to program order anyway) and to the float score, which
+   is a ranking artifact rather than part of the cut's identity. Same
+   canonical-string-then-MD5 scheme as the serve protocol's content key, so
+   two cut sets collide exactly when they decouple identically. *)
+let cut_set_key (cuts : Costmodel.cut list) : string =
+  let canon =
+    cuts
+    |> List.map (fun (c : Costmodel.cut) ->
+           Printf.sprintf "[%s]%b"
+             (String.concat "," (List.map string_of_int c.cut_loads))
+             c.cut_prefetch)
+    |> List.sort compare
+    |> String.concat ";"
+  in
+  Digest.to_hex (Digest.string canon)
+
 (* All non-empty subsets of the top-k cuts with at most [max_cuts] members,
-   each subset ordered by program position. *)
+   each subset ordered by program position. The cost model can rank the
+   same decoupling point more than once (e.g. with and without an equal
+   neighbor), so subsets are deduplicated by canonical digest — profiling
+   the same pipeline twice would only waste training runs. *)
 let enumerate_cut_sets ?(top_k = 6) ?(max_cuts = 3) (serial : pipeline) :
     Costmodel.cut list list =
   let cuts = Compile.candidates serial in
@@ -33,11 +53,19 @@ let enumerate_cut_sets ?(top_k = 6) ?(max_cuts = 3) (serial : pipeline) :
       let without = subsets rest in
       List.map (fun s -> c :: s) without @ without
   in
+  let seen = Hashtbl.create 64 in
   subsets top
   |> List.filter (fun s -> s <> [] && List.length s <= max_cuts)
   |> List.map
        (List.sort (fun (a : Costmodel.cut) b ->
             compare (List.hd a.cut_loads) (List.hd b.cut_loads)))
+  |> List.filter (fun s ->
+         let k = cut_set_key s in
+         if Hashtbl.mem seen k then false
+         else begin
+           Hashtbl.add seen k ();
+           true
+         end)
 
 (* One training run: returns cycles if the pipeline runs and matches the
    serial result on the checked arrays. Candidates that run away (e.g. an
@@ -144,7 +172,15 @@ let pgo ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default) ?(top_k =
       |> List.filter_map Fun.id
     in
     (match candidates with
-    | [] -> invalid_arg "Search.pgo: no legal candidate pipelines"
+    | [] ->
+      (* No candidate survived profiling: degrade to the serial (no-cut)
+         recipe instead of aborting the whole sweep — downstream consumers
+         treat [best = []] as "run serial". *)
+      Log.warn ~component:"search"
+        "pgo: no legal candidate pipelines among %d cut sets; falling back \
+         to the serial (no-cut) configuration"
+        (List.length cut_sets);
+      { best = []; all = []; serial_cycles }
     | _ ->
       let best =
         List.fold_left

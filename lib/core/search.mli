@@ -23,8 +23,16 @@ type outcome = {
   serial_cycles : int list;
 }
 
+val cut_set_key : Costmodel.cut list -> string
+(** Canonical hex digest of a cut set: insensitive to list order and to
+    the float ranking score. Two sets share a key exactly when they
+    decouple the program identically. *)
+
 val enumerate_cut_sets :
   ?top_k:int -> ?max_cuts:int -> Phloem_ir.Types.pipeline -> Costmodel.cut list list
+(** Non-empty subsets of the top-[top_k] ranked cuts with at most
+    [max_cuts] members, in program order, deduplicated by
+    {!cut_set_key}. *)
 
 val pgo :
   ?flags:Decouple.flags ->
@@ -37,5 +45,7 @@ val pgo :
     (Phloem_ir.Types.pipeline * (string * Phloem_ir.Types.value array) list) list ->
   unit ->
   outcome
-(** @raise Invalid_argument when no training inputs are given or no
-    candidate survives profiling. *)
+(** When no candidate survives profiling, returns the serial fallback
+    [{best = []; all = []; serial_cycles}] with a warning rather than
+    raising — downstream consumers treat an empty recipe as "run serial".
+    @raise Invalid_argument when no training inputs are given. *)

@@ -173,6 +173,7 @@ let run_one ?(cfg = Pipette.Config.default) ?thread_core ?faults ?(retries = 0)
 let phloem_pipeline ?(stages = 4) ?cuts (b : Workload.bound) =
   let serial_p = fst b.Workload.b_serial in
   match cuts with
+  | Some [] -> serial_p (* PGO's serial fallback: an empty recipe *)
   | Some cuts -> Phloem.Compile.with_cuts serial_p cuts
   | None -> Phloem.Compile.static_flow ~stages serial_p
 

@@ -242,6 +242,76 @@ let of_result ?stage_names (t : Engine.result) : report =
     r_diagnosis = List.rev !diagnosis;
   }
 
+(* Collapse a report into the single actionable category the autotuner's
+   move generator branches on. Thresholds: a run with less than
+   [headroom_threshold] estimated speedup left is Balanced (stop
+   expanding); the critical queue must absorb at least 5% of the run's
+   cycles in stalls before the run counts as queue-bound — below that the
+   queue is a symptom, not the constraint, and the bottleneck stage's own
+   issue/backend split decides. *)
+
+type queue_direction = Backpressure | Starvation
+
+type verdict =
+  | Balanced
+  | Queue_bound of { qb_queue : int; qb_direction : queue_direction }
+  | Backend_bound of { bb_stage : int; bb_level : int }
+  | Compute_bound of { cb_stage : int }
+
+let classify ?(headroom_threshold = 1.05) (r : report) : verdict =
+  if r.r_headroom < headroom_threshold then Balanced
+  else
+    match r.r_bottleneck with
+    | None -> Balanced
+    | Some b ->
+      let queue_verdict =
+        match r.r_critical_queue with
+        | None -> None
+        | Some qid -> (
+          match
+            Array.to_list r.r_queues
+            |> List.find_opt (fun q -> q.q_id = qid)
+          with
+          | None -> None
+          | Some q ->
+            let stalls = q.q_full + q.q_empty in
+            if
+              stalls * 20 >= max 1 r.r_cycles (* >= 5% of the run *)
+            then
+              Some
+                (Queue_bound
+                   {
+                     qb_queue = qid;
+                     qb_direction =
+                       (if q.q_full >= q.q_empty then Backpressure
+                        else Starvation);
+                   })
+            else None)
+      in
+      (match queue_verdict with
+      | Some v -> v
+      | None ->
+        let s = r.r_stages.(b) in
+        if s.st_backend > s.st_issue then begin
+          let lvl = ref 0 in
+          Array.iteri
+            (fun i c -> if c > s.st_backend_level.(!lvl) then lvl := i)
+            s.st_backend_level;
+          Backend_bound { bb_stage = b; bb_level = !lvl }
+        end
+        else Compute_bound { cb_stage = b })
+
+let verdict_to_string = function
+  | Balanced -> "balanced"
+  | Queue_bound { qb_queue; qb_direction = Backpressure } ->
+    Printf.sprintf "queue-bound(q%d, backpressure)" qb_queue
+  | Queue_bound { qb_queue; qb_direction = Starvation } ->
+    Printf.sprintf "queue-bound(q%d, starvation)" qb_queue
+  | Backend_bound { bb_stage; bb_level } ->
+    Printf.sprintf "backend-bound(stage %d, %s)" bb_stage
+      level_names.(max 0 (min bb_level (Array.length level_names - 1)))
+  | Compute_bound { cb_stage } -> Printf.sprintf "compute-bound(stage %d)" cb_stage
+
 let render (r : report) : string =
   let buf = Buffer.create 2048 in
   Printf.bprintf buf

@@ -49,6 +49,30 @@ type report = {
   r_diagnosis : string list;  (** human-readable findings, in order *)
 }
 
+type queue_direction =
+  | Backpressure  (** producers blocked on a full queue *)
+  | Starvation  (** consumers starved on an empty queue *)
+
+type verdict =
+  | Balanced
+      (** headroom below threshold, or no attributable bottleneck: stop
+          expanding this configuration *)
+  | Queue_bound of { qb_queue : int; qb_direction : queue_direction }
+      (** the critical queue absorbs a material share (>= 5%) of the run's
+          cycles in stalls *)
+  | Backend_bound of { bb_stage : int; bb_level : int }
+      (** the bottleneck stage stalls on memory more than it issues;
+          [bb_level] indexes [|port; L1; L2; L3; DRAM|] *)
+  | Compute_bound of { cb_stage : int }
+      (** the bottleneck stage is issue-limited: split it or add cores *)
+
+val classify : ?headroom_threshold:float -> report -> verdict
+(** Collapse a report into the single category the autotuner's move
+    generator branches on. [headroom_threshold] (default 1.05) is the
+    estimated-speedup floor below which a run counts as [Balanced]. *)
+
+val verdict_to_string : verdict -> string
+
 val of_result : ?stage_names:string array -> Engine.result -> report
 (** Build a report from a finished run. [stage_names], when given, labels
     threads by pipeline stage (missing entries fall back to [threadN]). *)

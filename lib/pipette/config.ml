@@ -63,6 +63,10 @@ let default =
 
 let four_cores = { default with n_cores = 4 }
 
+let with_cores (cfg : t) (n : int) : t =
+  if n < 1 then invalid_arg "Config.with_cores: need at least one core";
+  { cfg with n_cores = n }
+
 (* Per-event energy in nanojoules, standing in for McPAT at 22 nm and the
    Micron DDR3L power model. Only relative magnitudes matter for Fig. 11. *)
 type energy_model = {

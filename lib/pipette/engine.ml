@@ -182,8 +182,8 @@ let default_thread_core (cfg : Config.t) n_threads =
 let default_cycle_budget = 500_000_000
 let default_watchdog = 5_000_000
 
-let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
-    ?faults ?(watchdog = default_watchdog)
+let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||])
+    ?(queue_caps = []) ?telemetry ?faults ?(watchdog = default_watchdog)
     ?(cycle_budget = default_cycle_budget) (p : Types.pipeline)
     (trace : Trace.t) : result =
   let n_threads = Array.length trace.Trace.threads in
@@ -287,6 +287,15 @@ let run ?(cfg = Config.default) ?thread_core ?(ra_core = [||]) ?telemetry
       (fun (d : Types.queue_decl) ->
         if d.q_id >= 0 then caps.(d.q_id) <- d.q_capacity)
       p.Types.p_queues;
+    (* Per-queue capacity overrides (the autotuner's "deepen q" knob).
+       Taking them here instead of rewriting the queue declarations keeps
+       the pipeline — and therefore Sim's compiled-program and functional-
+       trace memo keys — unchanged, so a capacity move costs only a timing
+       replay. *)
+    List.iter
+      (fun (q, cap) ->
+        if q >= 0 && q < Array.length caps && cap >= 1 then caps.(q) <- cap)
+      queue_caps;
     caps
   in
   let cap_of q = if q < Array.length q_caps then q_caps.(q) else cfg.queue_depth in

@@ -72,6 +72,7 @@ val run :
   ?cfg:Config.t ->
   ?thread_core:int array ->
   ?ra_core:int array ->
+  ?queue_caps:(int * int) list ->
   ?telemetry:Telemetry.t ->
   ?faults:Faults.t ->
   ?watchdog:int ->
@@ -80,7 +81,11 @@ val run :
   Phloem_ir.Trace.t ->
   result
 (** Replay [trace] of pipeline [p] and return cycle counts, breakdowns, and
-    the refined stall {!attribution}. [telemetry], when given, receives
+    the refined stall {!attribution}. [queue_caps] overrides individual
+    queue capacities as [(queue id, capacity)] pairs without touching the
+    pipeline itself — the autotuner's per-queue depth knob; entries naming
+    unknown queues or capacities below 1 are ignored. [telemetry], when
+    given, receives
     interval samples and per-thread stall-state timelines; [faults] injects
     a deterministic fault plan (see {!Faults}); with [?faults:None] and no
     watchdog trip every counter is byte-identical to the unhooked engine.

@@ -246,16 +246,17 @@ let functional ?(inputs = []) (p : Types.pipeline) : Interp.result =
       cache_add trace_cache trace_order trace_evictions key r;
       r
 
-let simulate ?(cfg = Config.default) ?thread_core ?telemetry ?faults ?watchdog
-    ?cycle_budget (p : Types.pipeline) (fr : Interp.result) : run =
+let simulate ?(cfg = Config.default) ?thread_core ?queue_caps ?telemetry
+    ?faults ?watchdog ?cycle_budget (p : Types.pipeline) (fr : Interp.result) :
+    run =
   let tc =
     match thread_core with
     | Some tc -> tc
     | None -> Engine.default_thread_core cfg (List.length p.Types.p_stages)
   in
   let timing =
-    Engine.run ~cfg ~thread_core:tc ~ra_core:(ra_cores p tc) ?telemetry ?faults
-      ?watchdog ?cycle_budget p fr.Interp.r_trace
+    Engine.run ~cfg ~thread_core:tc ~ra_core:(ra_cores p tc) ?queue_caps
+      ?telemetry ?faults ?watchdog ?cycle_budget p fr.Interp.r_trace
   in
   { sr_functional = fr; sr_timing = timing; sr_energy = Energy.of_result timing }
 

@@ -37,6 +37,7 @@ val functional :
 val simulate :
   ?cfg:Config.t ->
   ?thread_core:int array ->
+  ?queue_caps:(int * int) list ->
   ?telemetry:Telemetry.t ->
   ?faults:Faults.t ->
   ?watchdog:int ->
@@ -46,7 +47,10 @@ val simulate :
   run
 (** Replay a functional result's µop traces on the timing model. This is
     the only per-config work in a sweep: callers obtain the functional
-    result once via {!functional} and replay it under each config. *)
+    result once via {!functional} and replay it under each config.
+    [queue_caps] overrides individual queue capacities for the replay only
+    (see {!Engine.run}) — the pipeline, and with it the memoized compiled
+    program and functional trace, is untouched. *)
 
 val run :
   ?cfg:Config.t ->
