@@ -5,13 +5,24 @@
    determinism makes every result a pure function of its request, so a
    repeat is answered in O(lookup) with byte-identical JSON. See README
    "Running phloemd" for the protocol and DESIGN.md "Simulation as a
-   service" for the cache-key derivation. *)
+   service" for the cache-key derivation.
+
+   Observability (--metrics-out / --trace-out / --slow-ms) is opt-in: any
+   of these flags creates a Serve.Obs handle threaded through the server,
+   and a flusher thread rewrites the output files atomically on an
+   interval so a killed daemon still leaves a usable last snapshot. *)
 
 open Cmdliner
 module Serve = Phloem_serve
 
+let write_stats file server =
+  (* Atomic like the Obs writers: stats are also scraped while live. *)
+  let tmp = file ^ ".tmp" in
+  Pipette.Telemetry.Json.to_file tmp (Serve.Server.stats_json server);
+  Sys.rename tmp file
+
 let serve socket tcp jobs queue_limit batch cache_entries sim_cache max_request
-    stats_out log_level =
+    stats_out metrics_out trace_out slow_ms flush_interval log_level =
   (match Phloem_util.Log.level_of_string log_level with
   | Some l -> Phloem_util.Log.set_level l
   | None ->
@@ -20,6 +31,11 @@ let serve socket tcp jobs queue_limit batch cache_entries sim_cache max_request
   (* A daemon serving many distinct pipelines needs more memo room than the
      sweep default; PHLOEM_TRACE_CACHE still sets the initial on/off. *)
   Pipette.Sim.set_cache_capacity sim_cache;
+  let obs =
+    if metrics_out <> None || trace_out <> None || slow_ms <> None then
+      Some (Serve.Obs.create ?slow_ms ())
+    else None
+  in
   let opts =
     {
       Serve.Server.so_unix = Some socket;
@@ -29,6 +45,7 @@ let serve socket tcp jobs queue_limit batch cache_entries sim_cache max_request
       so_batch = batch;
       so_cache_entries = cache_entries;
       so_max_request = max_request;
+      so_obs = obs;
     }
   in
   let server =
@@ -42,16 +59,55 @@ let serve socket tcp jobs queue_limit batch cache_entries sim_cache max_request
   Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
   Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let flush_outputs () =
+    (try Option.iter (fun f -> write_stats f server) stats_out
+     with Sys_error _ -> ());
+    match obs with
+    | None -> ()
+    | Some o ->
+      (try Option.iter (Serve.Obs.write_metrics_file o) metrics_out
+       with Sys_error _ -> ());
+      (try Option.iter (Serve.Obs.write_trace_file o) trace_out
+       with Sys_error _ -> ())
+  in
+  (* Periodic flusher: a crashed or SIGKILLed daemon still leaves the last
+     interval's stats/metrics/trace on disk. Wakes every 0.2 s so shutdown
+     isn't delayed by a long flush interval. *)
+  let flusher =
+    if stats_out = None && obs = None then None
+    else
+      Some
+        (Thread.create
+           (fun () ->
+             let last = ref (Unix.gettimeofday ()) in
+             while not (Serve.Server.stopped server) do
+               Thread.delay 0.2;
+               let now = Unix.gettimeofday () in
+               if now -. !last >= flush_interval then begin
+                 last := now;
+                 flush_outputs ()
+               end
+             done)
+           ())
+  in
   Printf.printf "phloemd: listening on %s%s (jobs %d, queue limit %d, cache %d \
                  entries)\n%!"
     socket
     (match tcp with Some p -> Printf.sprintf " and 127.0.0.1:%d" p | None -> "")
     jobs queue_limit cache_entries;
   Serve.Server.run server;
+  Option.iter Thread.join flusher;
+  (* Final flush after the drain so the on-disk files cover every request
+     the daemon answered. *)
+  flush_outputs ();
   (match stats_out with
-  | Some file ->
-    Pipette.Telemetry.Json.to_file file (Serve.Server.stats_json server);
-    Printf.printf "phloemd: stats written to %s\n%!" file
+  | Some file -> Printf.printf "phloemd: stats written to %s\n%!" file
+  | None -> ());
+  (match metrics_out with
+  | Some file -> Printf.printf "phloemd: metrics written to %s\n%!" file
+  | None -> ());
+  (match trace_out with
+  | Some file -> Printf.printf "phloemd: trace written to %s\n%!" file
   | None -> ());
   Printf.printf "phloemd: clean shutdown\n%!";
   0
@@ -114,7 +170,44 @@ let stats_arg =
     value
     & opt (some string) None
     & info [ "stats-out" ] ~docv:"FILE"
-        ~doc:"write the final stats JSON to $(docv) on shutdown")
+        ~doc:
+          "write the stats JSON to $(docv): periodically (see \
+           $(b,--flush-interval)), and finally after the shutdown drain")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "enable service metrics and write them to $(docv) periodically and \
+           on shutdown; a $(b,.prom) suffix selects Prometheus text \
+           exposition, anything else JSON with derived p50/p95/p99")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "enable request-span tracing and write a Chrome trace-event file \
+           (chrome://tracing, Perfetto) to $(docv) periodically and on \
+           shutdown")
+
+let slow_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "log a warning for any simulate request slower than $(docv) \
+           milliseconds (implies metrics collection)")
+
+let flush_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "flush-interval" ] ~docv:"SECONDS"
+        ~doc:"interval between periodic stats/metrics/trace flushes")
 
 let log_arg =
   Arg.(
@@ -134,6 +227,14 @@ let cmd =
               content-addressed cache with byte-identical results. When the \
               bounded job queue is full, requests receive a \
               status=\"shed\" response instead of queueing unboundedly.";
+           `P
+             "Observability is opt-in: $(b,--metrics-out) exposes counters \
+              and latency histograms (cache-hit vs cold split, queue-wait), \
+              $(b,--trace-out) records per-request spans (parse, cache \
+              lookup, queue wait, dispatch, compile/trace/simulate, respond) \
+              as a Chrome trace, and $(b,--slow-ms) logs slow requests. All \
+              output files are rewritten atomically every \
+              $(b,--flush-interval) seconds and after the shutdown drain.";
            `S Manpage.s_exit_status;
            `P
              "0 after a clean shutdown (SIGTERM, SIGINT, or a shutdown \
@@ -142,6 +243,7 @@ let cmd =
          ])
     Term.(
       const serve $ socket_arg $ tcp_arg $ jobs_arg $ queue_arg $ batch_arg
-      $ cache_arg $ sim_cache_arg $ max_request_arg $ stats_arg $ log_arg)
+      $ cache_arg $ sim_cache_arg $ max_request_arg $ stats_arg $ metrics_arg
+      $ trace_arg $ slow_arg $ flush_arg $ log_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -33,6 +33,10 @@ let fault_plan inject fault_key =
 
 let run_remote sock (job : Serve.Protocol.job) json_out =
   let module Json = Pipette.Telemetry.Json in
+  (* Measured client-side on purpose: the ok envelope must stay a pure
+     function of the job (cache hits splice raw payload bytes), so the
+     daemon cannot embed per-request timings in it. *)
+  let t0 = Unix.gettimeofday () in
   let line =
     match
       Serve.Client.with_unix sock (fun fd ->
@@ -47,6 +51,7 @@ let run_remote sock (job : Serve.Protocol.job) json_out =
       Printf.eprintf "simulate: phloemd at %s hung up without responding\n" sock;
       exit 1
   in
+  let latency_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
   let j =
     try Json.of_string line
     with Json.Parse_error msg ->
@@ -74,6 +79,7 @@ let run_remote sock (job : Serve.Protocol.job) json_out =
       Printf.printf "%s / %s on %s (remote via %s)\n" job.Serve.Protocol.j_bench
         job.Serve.Protocol.j_variant job.Serve.Protocol.j_input sock;
       Printf.printf "  served from cache         : %b\n" cached;
+      Printf.printf "  round-trip latency        : %.2f ms\n" latency_ms;
       Printf.printf "  result valid vs reference : %b\n" valid;
       Printf.printf "  cycles                    : %.0f\n" (num "cycles");
       Printf.printf "  speedup over serial       : %.2fx\n" (num "speedup");
@@ -114,14 +120,25 @@ let run_autotune bench input scale json_out jobs beam search_budget max_replicas
     try Serve.Jobs.bind ~bench ~input ~scale
     with Serve.Jobs.Bad_job msg -> failwith msg
   in
+  let metrics = Phloem_util.Metrics.create () in
   let outcome =
     Phloem_util.Pool.with_pool ~jobs (fun pool ->
         Phloem.Autotune.tune ~beam ~budget:search_budget ~max_replicas
-          ~max_cores ~pool ~check_arrays:b.Workload.b_check_arrays
+          ~max_cores ~pool ~metrics ~check_arrays:b.Workload.b_check_arrays
           ~training:[ b.Workload.b_serial ] ())
   in
   Printf.printf "%s / autotune on %s\n" b.Workload.b_name input;
   print_string (Phloem.Autotune.summary outcome);
+  (let module M = Phloem_util.Metrics in
+   let module S = Phloem_util.Stats in
+   let h = M.observed (M.histogram metrics "autotune_eval_s") in
+   if S.hist_count h > 0 then
+     Printf.printf
+       "  eval latency: p50 %.1f ms, p95 %.1f ms, max %.1f ms over %d evals\n"
+       (1000.0 *. S.percentile_hist 0.50 h)
+       (1000.0 *. S.percentile_hist 0.95 h)
+       (1000.0 *. Option.value ~default:0.0 (S.hist_max h))
+       (S.hist_count h));
   (match json_out with
   | Some file ->
     let cyc = function c :: _ -> c | [] -> 0 in

@@ -360,7 +360,7 @@ let take n l = List.filteri (fun i _ -> i < n) l
 let tune ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default)
     ?(top_k = 6) ?(max_cuts = 3) ?(beam = 4) ?(budget = 64) ?max_queue_cap
     ?(max_replicas = 2) ?(max_cores = 4) ?(headroom_threshold = 1.05) ?pool
-    ~check_arrays
+    ?metrics ~check_arrays
     ~(training : (pipeline * (string * value array) list) list) () : outcome =
   if training = [] then invalid_arg "Autotune.tune: no training inputs";
   if beam < 1 then invalid_arg "Autotune.tune: beam < 1";
@@ -369,6 +369,32 @@ let tune ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default)
     match pool with
     | Some p -> Phloem_util.Pool.map_list p f l
     | None -> List.map f l
+  in
+  (* Progress instruments feeding the shared service registry (phloemd's
+     or the CLI's): per-eval latency lands in a histogram from whichever
+     pool domain ran it; wave/dedup/reject counters track search progress. *)
+  let module M = Phloem_util.Metrics in
+  let obs_eval =
+    match metrics with
+    | None -> fun f -> f ()
+    | Some m ->
+      let evals = M.counter m "autotune_evals" in
+      let eval_s = M.histogram m "autotune_eval_s" in
+      fun f ->
+        let t0 = Unix.gettimeofday () in
+        Fun.protect
+          ~finally:(fun () ->
+            M.incr evals;
+            M.observe eval_s (Unix.gettimeofday () -. t0))
+          f
+  in
+  let obs_counter name by =
+    match metrics with
+    | None -> ()
+    | Some m -> if by > 0 then M.incr ~by (M.counter m name)
+  in
+  let obs_gauge name v =
+    match metrics with None -> () | Some m -> M.set (M.gauge m name) v
   in
   let serial0 = fst (List.hd training) in
   let cut_sets = Search.enumerate_cut_sets ~top_k ~max_cuts serial0 in
@@ -446,10 +472,14 @@ let tune ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default)
     (List.length !frontier) (List.length cut_sets) beam budget;
   while !frontier <> [] && !simulated < budget do
     incr waves;
+    obs_counter "autotune_waves" 1;
     let wave = take (budget - !simulated) !frontier in
     frontier := [];
     let results =
-      pmap (fun (mv, parent, c, d) -> (mv, parent, c, d, eval ctx c)) wave
+      pmap
+        (fun (mv, parent, c, d) ->
+          (mv, parent, c, d, obs_eval (fun () -> eval ctx c)))
+        wave
     in
     simulated := !simulated + List.length wave;
     let wave_attempts =
@@ -565,6 +595,12 @@ let tune ?(flags = Decouple.all_passes) ?(cfg = Pipette.Config.default)
     (match cut_only with
     | Some (_, _, g) -> Printf.sprintf "%.3f" g
     | None -> "n/a");
+  obs_counter "autotune_rejected" !rejected;
+  obs_counter "autotune_deduped" !deduped;
+  obs_gauge "autotune_best_gmean" best_gmean;
+  (match best_cycles with
+  | c :: _ -> obs_gauge "autotune_best_cycles" (float_of_int c)
+  | [] -> ());
   {
     o_best = best_cfg;
     o_best_cycles = best_cycles;

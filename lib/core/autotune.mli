@@ -113,6 +113,7 @@ val tune :
   ?max_cores:int ->
   ?headroom_threshold:float ->
   ?pool:Phloem_util.Pool.t ->
+  ?metrics:Phloem_util.Metrics.t ->
   check_arrays:string list ->
   training:
     (Phloem_ir.Types.pipeline * (string * Phloem_ir.Types.value array) list)
@@ -124,6 +125,11 @@ val tune :
     [max_queue_cap] defaults to [8 * cfg.queue_depth]. With the same
     arguments the outcome is byte-identical whether [pool] is absent,
     single-job, or many-job (the pool preserves submission order).
+    [metrics] feeds search progress into a shared registry: per-eval
+    latency (histogram [autotune_eval_s]), counters [autotune_evals] /
+    [autotune_waves] / [autotune_rejected] / [autotune_deduped], and
+    gauges [autotune_best_gmean] / [autotune_best_cycles] — observation
+    only, never affects the outcome.
     @raise Invalid_argument on empty training or a non-positive
     beam/budget. *)
 

@@ -41,6 +41,11 @@ let cell_of = function
   | Trace -> trace_s
   | Simulate -> simulate_s
 
+let name = function
+  | Compile -> "compile"
+  | Trace -> "trace"
+  | Simulate -> "simulate"
+
 (* The phase is charged even when [f] raises: a deadlocked replay still
    burned the wall time it reports. *)
 let timed phase f =

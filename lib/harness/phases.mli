@@ -15,6 +15,10 @@ type snapshot = {
   ph_trace_misses : int;
 }
 
+val name : phase -> string
+(** Stable lower-case label ("compile" / "trace" / "simulate") shared by
+    reports and service-level span names. *)
+
 val timed : phase -> (unit -> 'a) -> 'a
 (** Run a thunk, charging its wall time to the phase — also when it
     raises. *)

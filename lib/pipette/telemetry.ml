@@ -434,6 +434,83 @@ let report_json t : Json.t =
       ("samples", samples_json t);
     ]
 
+(* --- generic Chrome trace-event emitter --------------------------------
+
+   Shared by the engine exporter below and by the phloemd daemon tracer:
+   both reduce their timelines to named processes/threads, complete "X"
+   spans and "C" counter tracks, so the format details (metadata events,
+   microsecond ts/dur fields, displayTimeUnit) live in one place. *)
+
+type trace_span = {
+  te_pid : int;
+  te_tid : int;
+  te_cat : string;
+  te_name : string;
+  te_ts : int; (* microseconds *)
+  te_dur : int;
+}
+
+type trace_counter = { tc_name : string; tc_ts : int; tc_value : int }
+
+let trace_events_json ?(process_names = []) ?(thread_names = [])
+    ?(counters = []) spans : Json.t =
+  let metas =
+    List.map
+      (fun (pid, name) ->
+        Json.Obj
+          [
+            ("ph", Json.Str "M");
+            ("name", Json.Str "process_name");
+            ("pid", Json.Int pid);
+            ("args", Json.Obj [ ("name", Json.Str name) ]);
+          ])
+      process_names
+    @ List.map
+        (fun ((pid, tid), name) ->
+          Json.Obj
+            [
+              ("ph", Json.Str "M");
+              ("name", Json.Str "thread_name");
+              ("pid", Json.Int pid);
+              ("tid", Json.Int tid);
+              ("args", Json.Obj [ ("name", Json.Str name) ]);
+            ])
+        thread_names
+  in
+  let span_events =
+    List.map
+      (fun sp ->
+        Json.Obj
+          [
+            ("ph", Json.Str "X");
+            ("name", Json.Str sp.te_name);
+            ("cat", Json.Str sp.te_cat);
+            ("pid", Json.Int sp.te_pid);
+            ("tid", Json.Int sp.te_tid);
+            ("ts", Json.Int sp.te_ts);
+            ("dur", Json.Int sp.te_dur);
+          ])
+      spans
+  in
+  let counter_events =
+    List.map
+      (fun pt ->
+        Json.Obj
+          [
+            ("ph", Json.Str "C");
+            ("name", Json.Str pt.tc_name);
+            ("pid", Json.Int 0);
+            ("ts", Json.Int pt.tc_ts);
+            ("args", Json.Obj [ ("value", Json.Int pt.tc_value) ]);
+          ])
+      counters
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metas @ span_events @ counter_events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
 (* Chrome trace-event export: one timeline track per thread (issue/stall
    state spans as complete "X" events, grouped by core as the process), plus
    one counter ("C") track per registered gauge. Timestamps are in simulated
@@ -442,60 +519,32 @@ let trace_json t : Json.t =
   let core_of = Hashtbl.create 16 in
   List.iter (fun m -> Hashtbl.replace core_of m.tm_thread m.tm_core) t.metas;
   let pid thread = try Hashtbl.find core_of thread with Not_found -> 0 in
-  let metas =
-    List.concat_map
-      (fun m ->
-        [
-          Json.Obj
-            [
-              ("ph", Json.Str "M");
-              ("name", Json.Str "process_name");
-              ("pid", Json.Int m.tm_core);
-              ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "core%d" m.tm_core)) ]);
-            ];
-          Json.Obj
-            [
-              ("ph", Json.Str "M");
-              ("name", Json.Str "thread_name");
-              ("pid", Json.Int m.tm_core);
-              ("tid", Json.Int m.tm_thread);
-              ("args", Json.Obj [ ("name", Json.Str m.tm_name) ]);
-            ];
-        ])
-      (List.rev t.metas)
+  let process_names =
+    List.rev_map
+      (fun m -> (m.tm_core, Printf.sprintf "core%d" m.tm_core))
+      t.metas
   in
-  let span_events =
+  let thread_names =
+    List.rev_map (fun m -> ((m.tm_core, m.tm_thread), m.tm_name)) t.metas
+  in
+  let spans =
     List.rev_map
       (fun sp ->
-        Json.Obj
-          [
-            ("ph", Json.Str "X");
-            ("name", Json.Str sp.sp_state);
-            ("cat", Json.Str "thread");
-            ("pid", Json.Int (pid sp.sp_thread));
-            ("tid", Json.Int sp.sp_thread);
-            ("ts", Json.Int sp.sp_start);
-            ("dur", Json.Int (sp.sp_end - sp.sp_start));
-          ])
+        {
+          te_pid = pid sp.sp_thread;
+          te_tid = sp.sp_thread;
+          te_cat = "thread";
+          te_name = sp.sp_state;
+          te_ts = sp.sp_start;
+          te_dur = sp.sp_end - sp.sp_start;
+        })
       t.spans
   in
-  let counter_events =
+  let counters =
     List.rev_map
-      (fun pt ->
-        Json.Obj
-          [
-            ("ph", Json.Str "C");
-            ("name", Json.Str pt.pt_track);
-            ("pid", Json.Int 0);
-            ("ts", Json.Int pt.pt_cycle);
-            ("args", Json.Obj [ ("value", Json.Int pt.pt_value) ]);
-          ])
+      (fun pt -> { tc_name = pt.pt_track; tc_ts = pt.pt_cycle; tc_value = pt.pt_value })
       t.points
   in
-  Json.Obj
-    [
-      ("traceEvents", Json.List (metas @ span_events @ counter_events));
-      ("displayTimeUnit", Json.Str "ms");
-    ]
+  trace_events_json ~process_names ~thread_names ~counters spans
 
 let write_trace_file t file = Json.to_file file (trace_json t)

@@ -95,6 +95,33 @@ val sum_counter : t -> string -> int
 val report_json : t -> Json.t
 (** [{sample_interval; dropped_events; samples: [{cycle; values}]}]. *)
 
+(** {1 Generic Chrome trace-event emission}
+
+    Shared by the engine exporter and by service-level tracers (phloemd):
+    callers reduce their timeline to named processes/threads, complete
+    ["X"] spans and ["C"] counter tracks; the format details live here. *)
+
+type trace_span = {
+  te_pid : int;
+  te_tid : int;
+  te_cat : string;
+  te_name : string;
+  te_ts : int;  (** microseconds *)
+  te_dur : int;
+}
+
+type trace_counter = { tc_name : string; tc_ts : int; tc_value : int }
+
+val trace_events_json :
+  ?process_names:(int * string) list ->
+  ?thread_names:((int * int) * string) list ->
+  ?counters:trace_counter list ->
+  trace_span list ->
+  Json.t
+(** [{traceEvents: [...]; displayTimeUnit: "ms"}] with ["M"] metadata
+    events for each named process/thread, one ["X"] event per span and one
+    ["C"] event per counter point. *)
+
 val trace_json : t -> Json.t
 (** Chrome trace-event export: per-thread stall-state timelines as complete
     ["X"] events grouped by core, plus one ["C"] counter track per gauge;

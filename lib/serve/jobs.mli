@@ -22,11 +22,13 @@ val variant_pipeline :
 (** Select the serial / phloem / data-parallel / manual pipeline of a bound
     workload. @raise Bad_job on an unknown or unavailable variant. *)
 
-val run : Protocol.job -> string
+val run : ?obs:Obs.t -> ?trace:int -> Protocol.job -> string
 (** Execute one job — serial baseline plus requested variant, faults
     injected into the variant only — and serialize the result payload.
     Serialization is deterministic: identical jobs yield identical bytes,
     which is what the daemon's content-addressed cache relies on. Phase
-    wall time is charged to {!Phloem_harness.Phases}.
+    wall time is charged to {!Phloem_harness.Phases}; with [obs], each
+    phase is additionally recorded as a span under request id [trace] on
+    the executing worker's track, nested in an ["execute"] span.
     @raise Bad_job on unknown names
     @raise Phloem_ir.Forensics.Pipeline_failure on deadlock/livelock/budget *)

@@ -4,19 +4,27 @@
    a client streaming hundreds of requests cannot starve one submitting a
    single job — dispatch order interleaves clients no matter the arrival
    order. The total bound is global: when [queued = limit] a submit is shed
-   (explicit backpressure), never blocked or dropped silently. *)
+   (explicit backpressure), never blocked or dropped silently.
+
+   Every job is stamped at submit time so queue-wait — the interval between
+   enqueue and dispatch — is measured per job and aggregated in [stats];
+   it is the service-level signal that separates "the simulator is slow"
+   from "the queue is deep". *)
 
 type 'a t = {
   mutex : Mutex.t;
   nonempty : Condition.t; (* signalled on submit and on close *)
-  queues : (int, 'a Queue.t) Hashtbl.t;
+  queues : (int, ('a * float) Queue.t) Hashtbl.t; (* job, enqueue time *)
   rotation : int Queue.t; (* client ids with pending jobs, each once *)
   limit : int;
+  clock : unit -> float;
   mutable queued : int;
   mutable closed : bool;
   mutable accepted : int;
   mutable shed : int;
   mutable dispatched : int;
+  mutable wait_total : float; (* summed queue-wait of dispatched jobs *)
+  mutable wait_max : float;
 }
 
 type shed_info = { sh_queued : int; sh_limit : int }
@@ -27,9 +35,11 @@ type stats = {
   st_dispatched : int;
   st_queued : int;
   st_limit : int;
+  st_wait_total_s : float;
+  st_wait_max_s : float;
 }
 
-let create ?(limit = 64) () =
+let create ?(limit = 64) ?(clock = Unix.gettimeofday) () =
   if limit < 0 then invalid_arg "Serve.Scheduler.create: negative limit";
   {
     mutex = Mutex.create ();
@@ -37,11 +47,14 @@ let create ?(limit = 64) () =
     queues = Hashtbl.create 16;
     rotation = Queue.create ();
     limit;
+    clock;
     queued = 0;
     closed = false;
     accepted = 0;
     shed = 0;
     dispatched = 0;
+    wait_total = 0.0;
+    wait_max = 0.0;
   }
 
 let with_lock t f =
@@ -68,7 +81,7 @@ let submit t ~client job =
             q
         in
         if Queue.is_empty q then Queue.push client t.rotation;
-        Queue.push job q;
+        Queue.push (job, t.clock ()) q;
         t.queued <- t.queued + 1;
         t.accepted <- t.accepted + 1;
         Condition.signal t.nonempty;
@@ -77,33 +90,40 @@ let submit t ~client job =
 
 (* One job from the client at the head of the rotation; the client re-enters
    the rotation's tail while it still has pending work. Caller holds the
-   lock. *)
-let pop_one t =
+   lock. Returns the job with its queue-wait in seconds. *)
+let pop_one t ~now =
   match Queue.take_opt t.rotation with
   | None -> None
   | Some client ->
     let q = Hashtbl.find t.queues client in
-    let job = Queue.pop q in
+    let job, enq = Queue.pop q in
     if not (Queue.is_empty q) then Queue.push client t.rotation;
     t.queued <- t.queued - 1;
     t.dispatched <- t.dispatched + 1;
-    Some job
+    let wait = Float.max 0.0 (now -. enq) in
+    t.wait_total <- t.wait_total +. wait;
+    if wait > t.wait_max then t.wait_max <- wait;
+    Some (job, wait)
 
-let take_batch t ~max =
-  if max < 1 then invalid_arg "Serve.Scheduler.take_batch: max must be >= 1";
+let take_batch_timed t ~max =
+  if max < 1 then
+    invalid_arg "Serve.Scheduler.take_batch_timed: max must be >= 1";
   with_lock t (fun () ->
       while t.queued = 0 && not t.closed do
         Condition.wait t.nonempty t.mutex
       done;
       (* closed and drained -> [] signals the dispatcher to exit *)
+      let now = t.clock () in
       let rec grab acc n =
         if n = 0 then List.rev acc
         else
-          match pop_one t with
+          match pop_one t ~now with
           | Some job -> grab (job :: acc) (n - 1)
           | None -> List.rev acc
       in
       grab [] max)
+
+let take_batch t ~max = List.map fst (take_batch_timed t ~max)
 
 let close t =
   with_lock t (fun () ->
@@ -120,4 +140,6 @@ let stats t =
         st_dispatched = t.dispatched;
         st_queued = t.queued;
         st_limit = t.limit;
+        st_wait_total_s = t.wait_total;
+        st_wait_max_s = t.wait_max;
       })

@@ -14,11 +14,16 @@ type stats = {
   st_dispatched : int;
   st_queued : int;
   st_limit : int;
+  st_wait_total_s : float;
+      (** summed queue-wait (enqueue to dispatch) of dispatched jobs *)
+  st_wait_max_s : float;
 }
 
-val create : ?limit:int -> unit -> 'a t
+val create : ?limit:int -> ?clock:(unit -> float) -> unit -> 'a t
 (** [limit] (default 64) bounds the total queued jobs across all clients;
     [limit = 0] sheds every submit (useful for tests and drain mode).
+    [clock] (default [Unix.gettimeofday]) stamps jobs at submit time for
+    queue-wait measurement; injectable for deterministic tests.
     @raise Invalid_argument on a negative limit. *)
 
 val submit : 'a t -> client:int -> 'a -> (unit, shed_info) result
@@ -30,6 +35,10 @@ val take_batch : 'a t -> max:int -> 'a list
     then pop up to [max] jobs round-robin across clients. [[]] means closed
     and fully drained — the dispatcher's exit signal.
     @raise Invalid_argument if [max < 1]. *)
+
+val take_batch_timed : 'a t -> max:int -> ('a * float) list
+(** Like {!take_batch} but each job carries its queue-wait in seconds
+    (dispatch time minus enqueue time, clamped at 0). *)
 
 val close : 'a t -> unit
 (** Stop accepting submits (they shed) and wake blocked takers; already

@@ -26,6 +26,7 @@ type opts = {
   so_batch : int; (* max jobs dispatched per pool batch *)
   so_cache_entries : int; (* result-cache entry bound *)
   so_max_request : int; (* request line byte bound *)
+  so_obs : Obs.t option; (* service metrics + request tracing; off by default *)
 }
 
 let default_opts =
@@ -37,6 +38,7 @@ let default_opts =
     so_batch = 8;
     so_cache_entries = 256;
     so_max_request = 1 lsl 20;
+    so_obs = None;
   }
 
 type client = {
@@ -50,6 +52,8 @@ type entry = {
   en_id : Json.t; (* echoed request id *)
   en_key : string; (* content key; fills the cache on completion *)
   en_job : Protocol.job;
+  en_trace : int; (* request trace id (0 when tracing is off) *)
+  en_t0 : float; (* request arrival wall time (0. when tracing is off) *)
 }
 
 type t = {
@@ -141,8 +145,13 @@ let stats_json t : Json.t =
   let cc = Pipette.Sim.cache_counters () in
   let ph = Phloem_harness.Phases.snapshot () in
   let module P = Phloem_harness.Phases in
+  let metrics_section =
+    match t.t_opts.so_obs with
+    | None -> []
+    | Some obs -> [ ("metrics", Obs.metrics_json obs) ]
+  in
   Json.Obj
-    [
+    ([
       ("uptime_s", Json.Float (Unix.gettimeofday () -. t.t_started));
       ("jobs", Json.Int t.t_opts.so_jobs);
       ("connections", Json.Int (Atomic.get t.t_connections));
@@ -159,6 +168,12 @@ let stats_json t : Json.t =
             ("dispatched", Json.Int sc.Scheduler.st_dispatched);
             ("queued", Json.Int sc.Scheduler.st_queued);
             ("limit", Json.Int sc.Scheduler.st_limit);
+            ("queue_wait_total_s", Json.Float sc.Scheduler.st_wait_total_s);
+            ("queue_wait_max_s", Json.Float sc.Scheduler.st_wait_max_s);
+            ( "queue_wait_mean_s",
+              Json.Float
+                (P.ratio sc.Scheduler.st_wait_total_s
+                   (float_of_int sc.Scheduler.st_dispatched)) );
           ] );
       ( "sim_cache",
         Json.Obj
@@ -185,6 +200,7 @@ let stats_json t : Json.t =
               Json.Float (P.per_second ph.P.ph_ops ph.P.ph_simulate_s) );
           ] );
     ]
+    @ metrics_section)
 
 (* --- stop --------------------------------------------------------------- *)
 
@@ -209,41 +225,87 @@ let stopped t = Atomic.get t.t_stopped
 let failure_code (fr : Phloem_ir.Forensics.report) =
   Phloem_ir.Forensics.kind_name fr.Phloem_ir.Forensics.fr_kind
 
+let job_label (job : Protocol.job) =
+  Printf.sprintf "%s/%s/%s" job.Protocol.j_bench job.Protocol.j_variant
+    job.Protocol.j_input
+
 let respond_result t (en : entry) (r : (string, Phloem_util.Pool.error) result) =
-  match r with
+  let obs = t.t_opts.so_obs in
+  let respond f =
+    match obs with
+    | None -> f ()
+    | Some o ->
+      Obs.span o ~trace:en.en_trace ~track:"dispatcher" ~name:"respond" f
+  in
+  (match r with
   | Ok payload ->
     Cache.add t.t_cache en.en_key payload;
     Atomic.incr t.t_ok;
-    send t en.en_client (Protocol.ok_response ~id:en.en_id ~cached:false payload)
+    respond (fun () ->
+        send t en.en_client
+          (Protocol.ok_response ~id:en.en_id ~cached:false payload))
   | Error { Phloem_util.Pool.e_exn = Phloem_ir.Forensics.Pipeline_failure fr; _ }
     ->
     Atomic.incr t.t_errors;
-    send t en.en_client
-      (Protocol.error_response ~id:en.en_id ~code:(failure_code fr)
-         ~failure:(Pipette.Analysis.json_of_failure fr)
-         "pipeline failed; see the structured forensics report")
+    Option.iter Obs.on_error obs;
+    respond (fun () ->
+        send t en.en_client
+          (Protocol.error_response ~id:en.en_id ~code:(failure_code fr)
+             ~failure:(Pipette.Analysis.json_of_failure fr)
+             "pipeline failed; see the structured forensics report"))
   | Error { Phloem_util.Pool.e_exn = Jobs.Bad_job msg; _ } ->
     Atomic.incr t.t_errors;
-    send t en.en_client (Protocol.error_response ~id:en.en_id ~code:"bad-job" msg)
+    Option.iter Obs.on_error obs;
+    respond (fun () ->
+        send t en.en_client
+          (Protocol.error_response ~id:en.en_id ~code:"bad-job" msg))
   | Error { Phloem_util.Pool.e_exn; _ } ->
     Atomic.incr t.t_errors;
-    send t en.en_client
-      (Protocol.error_response ~id:en.en_id ~code:"job-failed"
-         (Printexc.to_string e_exn))
+    Option.iter Obs.on_error obs;
+    respond (fun () ->
+        send t en.en_client
+          (Protocol.error_response ~id:en.en_id ~code:"job-failed"
+             (Printexc.to_string e_exn))));
+  match obs with
+  | None -> ()
+  | Some o ->
+    Obs.finish_request o ~trace:en.en_trace ~hit:false ~start:en.en_t0
+      ~label:(job_label en.en_job)
 
 let dispatcher_loop t =
+  let obs = t.t_opts.so_obs in
   Phloem_util.Pool.with_pool ~jobs:t.t_opts.so_jobs @@ fun pool ->
   let rec loop () =
-    match Scheduler.take_batch t.t_sched ~max:t.t_opts.so_batch with
+    match Scheduler.take_batch_timed t.t_sched ~max:t.t_opts.so_batch with
     | [] -> () (* closed and drained *)
     | batch ->
-      let entries = Array.of_list batch in
+      let entries = Array.of_list (List.map fst batch) in
+      (match obs with
+      | None -> ()
+      | Some o ->
+        (* queue-wait spans: reconstructed from the scheduler's measured
+           wait so the trace shows the interval each job sat queued *)
+        let taken = Obs.now () in
+        List.iter
+          (fun ((en : entry), wait) ->
+            Obs.observe_queue_wait o wait;
+            Obs.record o ~trace:en.en_trace ~track:"queue" ~name:"queue-wait"
+              ~start:(taken -. wait) ~stop:taken)
+          batch);
       Log.debug ~component:"phloemd" "dispatching batch of %d"
         (Array.length entries);
+      let dispatch f =
+        match obs with
+        | None -> f ()
+        | Some o ->
+          Obs.span o ~trace:entries.(0).en_trace ~track:"dispatcher"
+            ~name:"dispatch" f
+      in
       let results =
-        Phloem_util.Pool.try_map pool
-          (fun (en : entry) -> Jobs.run en.en_job)
-          entries
+        dispatch (fun () ->
+            Phloem_util.Pool.try_map pool
+              (fun (en : entry) -> Jobs.run ?obs ~trace:en.en_trace en.en_job)
+              entries)
       in
       Array.iteri (fun i r -> respond_result t entries.(i) r) results;
       loop ()
@@ -254,9 +316,24 @@ let dispatcher_loop t =
 
 let handle_request t (c : client) (line : string) =
   Atomic.incr t.t_requests;
-  match Protocol.parse_request ~max_bytes:t.t_opts.so_max_request line with
+  let obs = t.t_opts.so_obs in
+  let t0 = match obs with None -> 0.0 | Some _ -> Obs.now () in
+  let trace =
+    match obs with None -> 0 | Some o -> Obs.on_request o; Obs.next_trace o
+  in
+  let track = Printf.sprintf "reader-%d" c.c_id in
+  let reader_span name f =
+    match obs with
+    | None -> f ()
+    | Some o -> Obs.span o ~trace ~track ~name f
+  in
+  match
+    reader_span "parse" (fun () ->
+        Protocol.parse_request ~max_bytes:t.t_opts.so_max_request line)
+  with
   | Error rej ->
     Atomic.incr t.t_errors;
+    Option.iter Obs.on_error obs;
     send t c (Protocol.error_response ~id:Json.Null ~code:rej.Protocol.rj_code
                 rej.Protocol.rj_msg)
   | Ok (Protocol.Ping { id }) ->
@@ -272,20 +349,33 @@ let handle_request t (c : client) (line : string) =
     stop t
   | Ok (Protocol.Simulate { id; job }) -> (
     let key = Protocol.content_key job in
-    match Cache.find t.t_cache key with
+    match reader_span "cache-lookup" (fun () -> Cache.find t.t_cache key) with
     | Some payload ->
       (* content-addressed hit: answered on the reader thread, O(lookup),
          byte-identical to the cold response that filled the entry *)
       Atomic.incr t.t_ok;
-      send t c (Protocol.ok_response ~id ~cached:true payload)
+      reader_span "respond" (fun () ->
+          send t c (Protocol.ok_response ~id ~cached:true payload));
+      (match obs with
+      | None -> ()
+      | Some o ->
+        Obs.finish_request o ~trace ~hit:true ~start:t0 ~label:(job_label job))
     | None -> (
       match
         Scheduler.submit t.t_sched ~client:c.c_id
-          { en_client = c; en_id = id; en_key = key; en_job = job }
+          {
+            en_client = c;
+            en_id = id;
+            en_key = key;
+            en_job = job;
+            en_trace = trace;
+            en_t0 = t0;
+          }
       with
       | Ok () -> ()
       | Error { Scheduler.sh_queued; sh_limit } ->
         Atomic.incr t.t_shed;
+        Option.iter Obs.on_shed obs;
         send t c (Protocol.shed_response ~id ~queued:sh_queued ~limit:sh_limit)))
 
 let reader_loop t (c : client) =

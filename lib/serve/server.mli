@@ -14,11 +14,15 @@ type opts = {
   so_batch : int;  (** max jobs per dispatched pool batch *)
   so_cache_entries : int;  (** result-cache entry bound *)
   so_max_request : int;  (** request line byte bound *)
+  so_obs : Obs.t option;
+      (** service metrics + request tracing; [None] (the default) leaves
+          the request path untouched — cache hits still splice raw payload
+          bytes with no extra clock reads *)
 }
 
 val default_opts : opts
-(** jobs 1, queue limit 64, batch 8, 256 cache entries, 1 MiB requests;
-    no listeners — set [so_unix] and/or [so_tcp]. *)
+(** jobs 1, queue limit 64, batch 8, 256 cache entries, 1 MiB requests,
+    observability off; no listeners — set [so_unix] and/or [so_tcp]. *)
 
 type t
 
@@ -43,5 +47,8 @@ val stopped : t -> bool
 
 val stats_json : t -> Pipette.Telemetry.Json.t
 (** The stats payload served for [{"kind":"stats"}] requests: request /
-    response counters, result-cache and scheduler stats, the simulator's
-    memo-cache counters, and the phase split of job execution. *)
+    response counters, result-cache and scheduler stats (including
+    queue-wait totals), the simulator's memo-cache counters, and the phase
+    split of job execution. With observability enabled, an extra
+    ["metrics"] section carries the {!Obs.metrics_json} snapshot —
+    latency histograms with derived percentiles and span counts. *)

@@ -267,6 +267,40 @@ let test_tune_bfs () =
     (List.length digests)
     (List.length (List.sort_uniq compare digests))
 
+(* A metrics registry passed to [tune] observes the search without
+   affecting it: the progress counters must agree exactly with the
+   outcome's own accounting, and every eval lands in the latency
+   histogram. *)
+let test_tune_metrics_progress () =
+  let module M = Phloem_util.Metrics in
+  let metrics = M.create () in
+  let serial, inputs = bfs_training () in
+  let o =
+    Autotune.tune ~beam:2 ~budget:16 ~metrics ~check_arrays:[ "dist" ]
+      ~training:[ (serial, inputs) ] ()
+  in
+  let snap = M.snapshot metrics in
+  let counter k =
+    match List.assoc_opt k snap.M.sn_counters with Some v -> v | None -> 0
+  in
+  Alcotest.(check int) "evals counted" o.Autotune.o_simulated
+    (counter "autotune_evals");
+  Alcotest.(check int) "waves counted" o.Autotune.o_waves
+    (counter "autotune_waves");
+  Alcotest.(check int) "rejections counted" o.Autotune.o_rejected
+    (counter "autotune_rejected");
+  Alcotest.(check int) "dedups counted" o.Autotune.o_deduped
+    (counter "autotune_deduped");
+  (match List.assoc_opt "autotune_eval_s" snap.M.sn_hists with
+  | Some h ->
+    Alcotest.(check int) "one latency sample per eval" o.Autotune.o_simulated
+      (Phloem_util.Stats.hist_count h)
+  | None -> Alcotest.fail "eval latency histogram missing");
+  match List.assoc_opt "autotune_best_gmean" snap.M.sn_gauges with
+  | Some g ->
+    Alcotest.(check (float 1e-9)) "best gmean gauge" o.Autotune.o_best_gmean g
+  | None -> Alcotest.fail "best-gmean gauge missing"
+
 let test_tune_deterministic_across_jobs () =
   let o1 = tune ~jobs:1 and o2 = tune ~jobs:2 in
   Alcotest.(check string) "byte-identical outcome JSON across pool sizes"
@@ -284,6 +318,8 @@ let suite =
     Alcotest.test_case "cut-set key" `Quick test_cut_set_key;
     Alcotest.test_case "pgo serial fallback" `Quick test_pgo_serial_fallback;
     Alcotest.test_case "tune bfs" `Quick test_tune_bfs;
+    Alcotest.test_case "tune metrics progress" `Quick
+      test_tune_metrics_progress;
     Alcotest.test_case "tune deterministic across jobs" `Quick
       test_tune_deterministic_across_jobs;
   ]

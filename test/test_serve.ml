@@ -14,6 +14,9 @@ module Cache = Phloem_serve.Cache
 module Scheduler = Phloem_serve.Scheduler
 module Server = Phloem_serve.Server
 module Client = Phloem_serve.Client
+module Obs = Phloem_serve.Obs
+module Metrics = Phloem_util.Metrics
+module Stats = Phloem_util.Stats
 module Json = Pipette.Telemetry.Json
 module Phases = Phloem_harness.Phases
 
@@ -241,6 +244,32 @@ let test_scheduler_shed () =
   | Error { Scheduler.sh_limit; _ } ->
     Alcotest.(check int) "limit 0 reported" 0 sh_limit
 
+let test_scheduler_queue_wait () =
+  (* deterministic clock: submits at t=1 and t=2, dispatch at t=10 *)
+  let now = ref 1.0 in
+  let s = Scheduler.create ~limit:8 ~clock:(fun () -> !now) () in
+  ignore (Scheduler.submit s ~client:1 "j1");
+  now := 2.0;
+  ignore (Scheduler.submit s ~client:1 "j2");
+  now := 10.0;
+  (match Scheduler.take_batch_timed s ~max:8 with
+  | [ ("j1", w1); ("j2", w2) ] ->
+    Alcotest.(check (float 1e-9)) "first job waited 9s" 9.0 w1;
+    Alcotest.(check (float 1e-9)) "second job waited 8s" 8.0 w2
+  | other ->
+    Alcotest.failf "unexpected batch of %d" (List.length other));
+  let st = Scheduler.stats s in
+  Alcotest.(check (float 1e-9)) "wait total" 17.0 st.Scheduler.st_wait_total_s;
+  Alcotest.(check (float 1e-9)) "wait max" 9.0 st.Scheduler.st_wait_max_s;
+  (* a clock running backwards cannot produce negative waits *)
+  let back = ref 5.0 in
+  let s2 = Scheduler.create ~limit:4 ~clock:(fun () -> !back) () in
+  ignore (Scheduler.submit s2 ~client:1 "x");
+  back := 3.0;
+  (match Scheduler.take_batch_timed s2 ~max:1 with
+  | [ (_, w) ] -> Alcotest.(check (float 1e-9)) "clamped at zero" 0.0 w
+  | _ -> Alcotest.fail "expected one job")
+
 let test_scheduler_close_drains () =
   let s = Scheduler.create ~limit:8 () in
   ignore (Scheduler.submit s ~client:1 "j1");
@@ -277,7 +306,7 @@ let test_phases_guards () =
 
 (* --- end-to-end over a Unix-domain socket -------------------------------- *)
 
-let with_server ?(queue_limit = 64) ?(max_request = 1 lsl 20) f =
+let with_server ?(queue_limit = 64) ?(max_request = 1 lsl 20) ?obs f =
   let sock = Filename.temp_file "phloemd-test" ".sock" in
   Sys.remove sock;
   let server =
@@ -288,6 +317,7 @@ let with_server ?(queue_limit = 64) ?(max_request = 1 lsl 20) f =
         so_jobs = 1;
         so_queue_limit = queue_limit;
         so_max_request = max_request;
+        so_obs = obs;
       }
   in
   let th = Thread.create Server.run server in
@@ -417,6 +447,131 @@ let test_e2e_oversized () =
           Alcotest.check_raises "connection dropped after unbounded line"
             End_of_file (fun () -> ignore (Client.recv_line fd))))
 
+(* Observability enabled: a cold+warm pair must leave a metrics snapshot
+   with hit p50 < miss p50 and a populated queue-wait histogram, the
+   recorded spans must order and nest correctly across distinct tracks,
+   and — critically — the response bytes must stay exactly as without
+   observability (the cache hit still splices raw payload bytes). *)
+let test_e2e_observability () =
+  let obs = Obs.create ~slow_ms:1e9 () in
+  with_server ~obs (fun sock _server ->
+      Pipette.Sim.clear_caches ();
+      let req = Protocol.simulate_request ~id:(Json.Int 1) tiny_job in
+      let r1 = Client.with_unix sock (fun fd -> Client.request fd req) in
+      let r2 = Client.with_unix sock (fun fd -> Client.request fd req) in
+      let j1 = Json.of_string r1 and j2 = Json.of_string r2 in
+      Alcotest.(check string) "cold ok" "ok" (Protocol.response_status j1);
+      Alcotest.(check string) "warm ok" "ok" (Protocol.response_status j2);
+      Alcotest.(check bool) "cold not cached" false (Protocol.response_cached j1);
+      Alcotest.(check bool) "warm cached" true (Protocol.response_cached j2);
+      (match (Protocol.response_payload_raw r1, Protocol.response_payload_raw r2)
+       with
+      | Some p1, Some p2 ->
+        Alcotest.(check string)
+          "payload bytes identical with observability on" p1 p2
+      | _ -> Alcotest.fail "both responses must carry raw payloads");
+      (* --- metrics: latency split and queue wait --- *)
+      let snap = Metrics.snapshot (Obs.metrics obs) in
+      let counter k = List.assoc k snap.Metrics.sn_counters in
+      Alcotest.(check int) "requests counted" 2 (counter "phloemd_requests");
+      Alcotest.(check int) "one hit" 1 (counter "phloemd_cache_hits");
+      Alcotest.(check int) "one miss" 1 (counter "phloemd_cache_misses");
+      let hist k = List.assoc k snap.Metrics.sn_hists in
+      let hit_h = hist "phloemd_request_latency_hit_s"
+      and miss_h = hist "phloemd_request_latency_miss_s"
+      and wait_h = hist "phloemd_queue_wait_s" in
+      Alcotest.(check int) "hit histogram populated" 1 (Stats.hist_count hit_h);
+      Alcotest.(check int) "miss histogram populated" 1
+        (Stats.hist_count miss_h);
+      Alcotest.(check bool) "queue wait populated" true
+        (Stats.hist_count wait_h >= 1);
+      Alcotest.(check bool) "hit p50 < miss p50" true
+        (Stats.percentile_hist 0.5 hit_h < Stats.percentile_hist 0.5 miss_h);
+      (* --- spans: ordering, nesting, distinct tracks --- *)
+      let spans = Obs.spans obs in
+      let find trace name =
+        match
+          List.find_opt
+            (fun s -> s.Metrics.sp_trace = trace && s.Metrics.sp_name = name)
+            spans
+        with
+        | Some s -> s
+        | None -> Alcotest.failf "missing span %s in trace %d" name trace
+      in
+      (* the cold request is trace 1, the warm one trace 2 *)
+      let parse = find 1 "parse" in
+      let lookup = find 1 "cache-lookup" in
+      let wait = find 1 "queue-wait" in
+      let dispatch = find 1 "dispatch" in
+      let execute = find 1 "execute" in
+      let compile = find 1 "compile" in
+      let respond = find 1 "respond" in
+      let ordered a b = a.Metrics.sp_stop <= b.Metrics.sp_start +. 1e-9 in
+      Alcotest.(check bool) "parse before lookup" true (ordered parse lookup);
+      Alcotest.(check bool) "lookup before queue wait" true
+        (lookup.Metrics.sp_start <= wait.Metrics.sp_start +. 1e-9);
+      Alcotest.(check bool) "queue wait before execute" true
+        (ordered wait execute);
+      Alcotest.(check bool) "execute before respond" true
+        (ordered execute respond);
+      Alcotest.(check bool) "compile nested in execute" true
+        (compile.Metrics.sp_start >= execute.Metrics.sp_start -. 1e-9
+        && compile.Metrics.sp_stop <= execute.Metrics.sp_stop +. 1e-9);
+      let starts_with pre s =
+        String.length s >= String.length pre
+        && String.sub s 0 (String.length pre) = pre
+      in
+      Alcotest.(check bool) "parse on a reader track" true
+        (starts_with "reader-" parse.Metrics.sp_track);
+      Alcotest.(check string) "queue wait on the queue track" "queue"
+        wait.Metrics.sp_track;
+      Alcotest.(check string) "dispatch on the dispatcher track" "dispatcher"
+        dispatch.Metrics.sp_track;
+      Alcotest.(check bool) "execute on a worker track" true
+        (starts_with "worker-" execute.Metrics.sp_track);
+      Alcotest.(check string) "cold respond on the dispatcher track"
+        "dispatcher" respond.Metrics.sp_track;
+      (* the warm request never leaves its reader thread *)
+      let warm_respond = find 2 "respond" in
+      Alcotest.(check bool) "warm respond on the reader track" true
+        (starts_with "reader-" warm_respond.Metrics.sp_track);
+      Alcotest.(check bool) "warm trace has no execute" true
+        (not
+           (List.exists
+              (fun s -> s.Metrics.sp_trace = 2 && s.Metrics.sp_name = "execute")
+              spans));
+      (* --- exports parse and agree --- *)
+      (match Obs.trace_json obs with
+      | Json.Obj kvs -> (
+        match List.assoc_opt "traceEvents" kvs with
+        | Some (Json.List evs) ->
+          Alcotest.(check bool) "trace export has events" true
+            (List.length evs > List.length spans)
+        | _ -> Alcotest.fail "traceEvents must be a list")
+      | _ -> Alcotest.fail "trace export must be an object");
+      (* the extended stats response carries the metrics section *)
+      let stats =
+        Client.with_unix sock (fun fd ->
+            Client.request fd (Protocol.plain_request ~id:(Json.Int 3) "stats"))
+      in
+      match Protocol.response_payload_raw stats with
+      | None -> Alcotest.fail "stats response must carry a payload"
+      | Some payload -> (
+        let sj = Json.of_string payload in
+        (match Json.member "metrics" sj with
+        | Some (Json.Obj _) -> ()
+        | _ -> Alcotest.fail "stats payload needs a metrics section");
+        match Json.member "scheduler" sj with
+        | Some sched -> (
+          match
+            Option.bind
+              (Json.member "queue_wait_total_s" sched)
+              Json.to_float_opt
+          with
+          | Some w -> Alcotest.(check bool) "queue wait in stats" true (w >= 0.0)
+          | None -> Alcotest.fail "scheduler stats need queue_wait_total_s")
+        | None -> Alcotest.fail "stats payload needs a scheduler section"))
+
 let test_e2e_shutdown_request () =
   with_server (fun sock server ->
       let resp =
@@ -460,6 +615,8 @@ let () =
           Alcotest.test_case "round-robin fairness" `Quick
             test_scheduler_fairness;
           Alcotest.test_case "shed at the bound" `Quick test_scheduler_shed;
+          Alcotest.test_case "queue wait accounting" `Quick
+            test_scheduler_queue_wait;
           Alcotest.test_case "close drains" `Quick test_scheduler_close_drains;
         ] );
       ( "harness",
@@ -471,6 +628,8 @@ let () =
           Alcotest.test_case "rejects and shed-load" `Quick
             test_e2e_rejects_and_shed;
           Alcotest.test_case "oversized handling" `Quick test_e2e_oversized;
+          Alcotest.test_case "observability spans and latency split" `Quick
+            test_e2e_observability;
           Alcotest.test_case "shutdown request" `Quick test_e2e_shutdown_request;
         ] );
     ]

@@ -88,6 +88,168 @@ let test_table_render () =
   Alcotest.check_raises "row width" (Invalid_argument "Table.add_row: row width mismatch")
     (fun () -> Table.add_row t [ "only one" ])
 
+(* --- histograms and metrics --- *)
+
+let test_hist_basics () =
+  let h = Stats.hist_create () in
+  Alcotest.(check int) "empty count" 0 (Stats.hist_count h);
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.percentile_hist: empty") (fun () ->
+      ignore (Stats.percentile_hist 0.5 h));
+  List.iter (Stats.hist_add h) [ 0.001; 0.002; 0.004; 0.008; 0.1 ];
+  Stats.hist_add h Float.nan;
+  Alcotest.(check int) "count (NaN ignored)" 5 (Stats.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 0.115 (Stats.hist_sum h);
+  Alcotest.(check (option (float 1e-9))) "min" (Some 0.001) (Stats.hist_min h);
+  Alcotest.(check (option (float 1e-9))) "max" (Some 0.1) (Stats.hist_max h);
+  Alcotest.(check (float 1e-9)) "mean" 0.023 (Stats.hist_mean h);
+  (* percentiles stay within the observed range *)
+  List.iter
+    (fun p ->
+      let v = Stats.percentile_hist p h in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f in range" (100.0 *. p))
+        true
+        (v >= 0.001 && v <= 0.1))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ];
+  (* buckets cover every sample, ascending and disjoint *)
+  let buckets = Stats.hist_buckets h in
+  Alcotest.(check int) "bucket counts sum" 5
+    (List.fold_left (fun a (_, _, c) -> a + c) 0 buckets);
+  List.iter
+    (fun (lo, hi, c) ->
+      Alcotest.(check bool) "bucket well-formed" true (lo < hi && c > 0))
+    buckets
+
+let test_hist_under_overflow () =
+  let h = Stats.hist_create ~lo:1.0 ~growth:2.0 ~buckets:3 () in
+  (* range [1, 8); 0.5 underflows, 100 overflows *)
+  List.iter (Stats.hist_add h) [ 0.5; 2.0; 100.0 ];
+  Alcotest.(check int) "count" 3 (Stats.hist_count h);
+  let v0 = Stats.percentile_hist 0.01 h in
+  let v1 = Stats.percentile_hist 1.0 h in
+  Alcotest.(check (float 1e-9)) "underflow clamps to min" 0.5 v0;
+  Alcotest.(check (float 1e-9)) "overflow clamps to max" 100.0 v1
+
+let test_hist_merge () =
+  let a = Stats.hist_create () and b = Stats.hist_create () in
+  List.iter (Stats.hist_add a) [ 0.001; 0.01 ];
+  List.iter (Stats.hist_add b) [ 0.1; 1.0; 10.0 ];
+  let m = Stats.hist_merge a b in
+  Alcotest.(check int) "merged count" 5 (Stats.hist_count m);
+  Alcotest.(check (float 1e-9)) "merged sum" 11.111 (Stats.hist_sum m);
+  Alcotest.(check (option (float 1e-9))) "merged min" (Some 0.001)
+    (Stats.hist_min m);
+  Alcotest.(check (option (float 1e-9))) "merged max" (Some 10.0)
+    (Stats.hist_max m);
+  let other = Stats.hist_create ~buckets:7 () in
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Stats.hist_merge: shape mismatch") (fun () ->
+      ignore (Stats.hist_merge a other))
+
+(* The histogram percentile must agree with the exact nearest-rank
+   percentile up to one bucket of relative error (the growth factor). *)
+let prop_percentile_hist_close =
+  QCheck.Test.make ~count:200 ~name:"percentile_hist within growth of exact"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 60) (float_range 1e-5 100.0))
+        (float_range 0.0 1.0))
+    (fun (xs, p) ->
+      let growth = 10.0 ** 0.2 in
+      let h = Stats.hist_create ~growth () in
+      List.iter (Stats.hist_add h) xs;
+      let exact = Stats.percentile p xs in
+      let approx = Stats.percentile_hist p h in
+      let lo, hi = Stats.min_max xs in
+      approx >= lo && approx <= hi
+      && approx <= exact *. growth +. 1e-12
+      && approx >= exact /. growth -. 1e-12)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "reqs" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  Alcotest.(check int) "same handle" 5
+    (Metrics.counter_value (Metrics.counter m "reqs"));
+  let g = Metrics.gauge m "depth" in
+  Metrics.set g 3.5;
+  Alcotest.(check (float 1e-9)) "gauge" 3.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram m "lat" in
+  List.iter (Metrics.observe h) [ 0.001; 0.01; 0.1 ];
+  let snap = Metrics.snapshot m in
+  Alcotest.(check (list (pair string int))) "counters" [ ("reqs", 5) ]
+    snap.Metrics.sn_counters;
+  Alcotest.(check int) "snapshot hist count" 3
+    (Stats.hist_count (List.assoc "lat" snap.Metrics.sn_hists));
+  (* the snapshot is a copy: later observations don't leak in *)
+  Metrics.observe h 0.5;
+  Alcotest.(check int) "snapshot frozen" 3
+    (Stats.hist_count (List.assoc "lat" snap.Metrics.sn_hists));
+  (* merge sums counters and histograms, keeps max gauge *)
+  let merged = Metrics.merge snap (Metrics.snapshot m) in
+  Alcotest.(check (list (pair string int))) "merged counters" [ ("reqs", 10) ]
+    merged.Metrics.sn_counters;
+  Alcotest.(check int) "merged hist" 7
+    (Stats.hist_count (List.assoc "lat" merged.Metrics.sn_hists));
+  (* Prometheus exposition: cumulative buckets consistent with _count *)
+  let prom = Metrics.to_prometheus merged in
+  let has s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  Alcotest.(check bool) "prom counter line" true (has prom "reqs 10");
+  Alcotest.(check bool) "prom inf bucket" true
+    (has prom "lat_bucket{le=\"+Inf\"} 7");
+  Alcotest.(check bool) "prom count" true (has prom "lat_count 7")
+
+(* Two domains hammer the same histogram and counter; the snapshot must
+   account for every observation — the registry's domain-safety contract. *)
+let test_metrics_concurrent_domains () =
+  let m = Metrics.create () in
+  let per_domain = 20_000 in
+  let work () =
+    let c = Metrics.counter m "n" in
+    let h = Metrics.histogram m "obs" in
+    for i = 1 to per_domain do
+      Metrics.incr c;
+      Metrics.observe h (float_of_int (1 + (i mod 997)) /. 1000.0)
+    done
+  in
+  let d1 = Domain.spawn work and d2 = Domain.spawn work in
+  work ();
+  Domain.join d1;
+  Domain.join d2;
+  let snap = Metrics.snapshot m in
+  Alcotest.(check int) "counter total" (3 * per_domain)
+    (List.assoc "n" snap.Metrics.sn_counters);
+  Alcotest.(check int) "histogram total" (3 * per_domain)
+    (Stats.hist_count (List.assoc "obs" snap.Metrics.sn_hists))
+
+let test_span_recorder () =
+  let r = Metrics.recorder ~max_spans:4 () in
+  (* recorded out of order; [spans] must sort by start *)
+  Metrics.record r ~trace:1 ~track:"worker" ~name:"execute" ~start:2.0 ~stop:5.0;
+  Metrics.record r ~trace:1 ~track:"reader" ~name:"parse" ~start:1.0 ~stop:1.5;
+  Metrics.record r ~trace:1 ~track:"worker" ~name:"compile" ~start:2.5 ~stop:3.0;
+  let spans = Metrics.spans r in
+  Alcotest.(check (list string)) "sorted by start"
+    [ "parse"; "execute"; "compile" ]
+    (List.map (fun s -> s.Metrics.sp_name) spans);
+  (* nesting: the child span lies within its parent *)
+  let parent = List.nth spans 1 and child = List.nth spans 2 in
+  Alcotest.(check bool) "child nested in parent" true
+    (child.Metrics.sp_start >= parent.Metrics.sp_start
+    && child.Metrics.sp_stop <= parent.Metrics.sp_stop);
+  (* bounded: past capacity, spans drop (head retained) *)
+  Metrics.record r ~trace:2 ~track:"t" ~name:"a" ~start:6.0 ~stop:7.0;
+  Metrics.record r ~trace:2 ~track:"t" ~name:"b" ~start:7.0 ~stop:8.0;
+  Alcotest.(check int) "capacity" 4 (Metrics.span_count r);
+  Alcotest.(check int) "dropped" 1 (Metrics.dropped_spans r)
+
 let prop_heap_min =
   QCheck.Test.make ~count:100 ~name:"heap min is list min"
     QCheck.(list_of_size Gen.(int_range 1 50) int)
@@ -116,8 +278,16 @@ let suite =
     Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutes;
     Alcotest.test_case "stats" `Quick test_stats;
     Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "hist basics" `Quick test_hist_basics;
+    Alcotest.test_case "hist under/overflow" `Quick test_hist_under_overflow;
+    Alcotest.test_case "hist merge" `Quick test_hist_merge;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "metrics concurrent domains" `Quick
+      test_metrics_concurrent_domains;
+    Alcotest.test_case "span recorder" `Quick test_span_recorder;
     QCheck_alcotest.to_alcotest prop_heap_min;
     QCheck_alcotest.to_alcotest prop_percentile_bounds;
+    QCheck_alcotest.to_alcotest prop_percentile_hist_close;
   ]
 
 let () = Alcotest.run "phloem_util" [ ("util", suite) ]
